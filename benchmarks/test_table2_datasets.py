@@ -1,0 +1,21 @@
+"""E2 — Table II: dataset statistics (paper vs synthetic stand-in)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.tables import build_table2
+
+
+def test_table2_dataset_statistics(benchmark):
+    result = benchmark.pedantic(lambda: build_table2(scale=1.0), rounds=1, iterations=1)
+    report = result["report"]
+    save_report("table2_datasets", report)
+    print("\n" + report)
+
+    statistics = result["statistics"]
+    assert len(statistics) == 7
+    # Synthetic class counts always match the paper's.
+    for info in statistics.values():
+        assert info["synthetic_classes"] == info["paper_classes"]
+        assert info["synthetic_nodes"] > 0

@@ -1,0 +1,54 @@
+"""E6 — Table VI: evaluation without knowing the true number of novel classes.
+
+Paper (Table VI): when the number of novel classes is estimated (silhouette
+sweep before training + SC&ACC for selection) rather than given, OpenIMA
+still obtains the best overall accuracy on most datasets, and all methods
+lose some accuracy relative to the known-count setting of Table III.
+
+The benchmark estimates the novel-class count per dataset, trains the four
+competitive methods with that estimate, and checks that OpenIMA stays
+competitive and that the estimates are plausible (between 1 and the search
+bound).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_EXPERIMENT_SMALL, save_report
+
+from repro.experiments.tables import build_table6
+
+DATASETS = ("citeseer", "amazon-photos", "coauthor-cs")
+METHODS = ("orca-zm", "orca", "opencon", "openima")
+MAX_NOVEL = 8
+
+
+def test_table6_unknown_number_of_novel_classes(benchmark):
+    result = benchmark.pedantic(
+        lambda: build_table6(
+            experiment=BENCH_EXPERIMENT_SMALL,
+            methods=METHODS,
+            datasets=DATASETS,
+            max_novel=MAX_NOVEL,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result["report"]
+    lines = [report, "", "Estimated number of novel classes:"]
+    for dataset, estimate in result["estimates"].items():
+        lines.append(f"  {dataset}: {estimate}")
+    full_report = "\n".join(lines)
+    save_report("table6_unknown_novel", full_report)
+    print("\n" + full_report)
+
+    for dataset, estimate in result["estimates"].items():
+        assert 1 <= estimate <= MAX_NOVEL
+
+    results = result["results"]
+    wins = 0
+    for dataset in DATASETS:
+        openima = results["openima"][dataset].accuracy.overall
+        baselines = [results[m][dataset].accuracy.overall for m in METHODS if m != "openima"]
+        if openima >= max(baselines) - 0.05:
+            wins += 1
+    assert wins >= 2, f"OpenIMA competitive on only {wins}/{len(DATASETS)} datasets"

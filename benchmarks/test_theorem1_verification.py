@@ -1,0 +1,72 @@
+"""E9 — Theorem 1: numerical verification of the theoretical analysis.
+
+Theorem 1 (Section IV-A):
+
+1. For 1.5 < alpha < 3 (moderately separated classes), the novel-class
+   accuracy ACC_2 is positively correlated with sigma_1 — i.e. negatively
+   correlated with the variance imbalance rate gamma.
+2. For alpha > 3 (well-separated classes), both per-class accuracies exceed
+   0.95 regardless of the imbalance rate.
+
+The benchmark verifies both claims with the closed-form fixed-point analysis
+and with empirical K-Means runs on sampled data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_report
+
+from repro.experiments.reporting import format_table
+from repro.theory.theorem1 import verify_theorem1_point1, verify_theorem1_point2
+
+
+def _run_verification():
+    point1_closed = verify_theorem1_point1(alpha=2.0)
+    point1_empirical = verify_theorem1_point1(
+        alpha=2.0, gammas=np.linspace(1.1, 1.9, 7), empirical=True, seed=0
+    )
+    point2_closed = verify_theorem1_point2(gamma=1.5)
+    point2_empirical = verify_theorem1_point2(
+        gamma=1.5, alphas=[3.2, 3.6, 4.0], empirical=True, seed=0
+    )
+    return point1_closed, point1_empirical, point2_closed, point2_empirical
+
+
+def test_theorem1_numerical_verification(benchmark):
+    point1_closed, point1_empirical, point2_closed, point2_empirical = benchmark.pedantic(
+        _run_verification, rounds=1, iterations=1
+    )
+
+    rows = []
+    for point in point1_closed["points"]:
+        rows.append(["closed-form", f"{point.gamma:.2f}", f"{point.sigma1:.3f}",
+                     f"{point.acc1:.3f}", f"{point.acc2:.3f}"])
+    for point in point1_empirical["points"]:
+        rows.append(["empirical", f"{point.gamma:.2f}", f"{point.sigma1:.3f}",
+                     f"{point.acc1:.3f}", f"{point.acc2:.3f}"])
+    report = format_table(
+        ["Mode", "gamma", "sigma1", "ACC1", "ACC2"], rows,
+        title="Theorem 1 point (1): ACC2 vs imbalance rate at alpha=2.0",
+    )
+    report += (
+        f"\n\ncorr(ACC2, sigma1) closed-form = {point1_closed['corr_acc2_sigma1']:.3f}"
+        f"\ncorr(ACC2, gamma)  closed-form = {point1_closed['corr_acc2_gamma']:.3f}"
+        f"\ncorr(ACC2, sigma1) empirical   = {point1_empirical['corr_acc2_sigma1']:.3f}"
+        f"\n\nTheorem 1 point (2) at gamma=1.5 (alpha > 3):"
+        f"\n  min ACC1 closed-form = {point2_closed['min_acc1']:.3f}"
+        f"\n  min ACC2 closed-form = {point2_closed['min_acc2']:.3f}"
+        f"\n  min ACC1 empirical   = {point2_empirical['min_acc1']:.3f}"
+        f"\n  min ACC2 empirical   = {point2_empirical['min_acc2']:.3f}"
+    )
+    save_report("theorem1_verification", report)
+    print("\n" + report)
+
+    # Claim 1: positive correlation with sigma_1 / negative with gamma.
+    assert point1_closed["holds"]
+    assert point1_closed["corr_acc2_sigma1"] > 0.9
+    assert point1_empirical["corr_acc2_sigma1"] > 0.5
+    # Claim 2: both accuracies above 0.95 once alpha > 3.
+    assert point2_closed["holds"]
+    assert point2_empirical["min_acc1"] > 0.9
+    assert point2_empirical["min_acc2"] > 0.9

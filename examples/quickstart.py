@@ -1,0 +1,62 @@
+"""Quickstart: train OpenIMA on a synthetic Coauthor-CS-style graph.
+
+This example walks through the full public API in ~50 lines:
+
+1. build an open-world dataset (synthetic stand-in for Coauthor CS, 50% of
+   the classes seen, 50 labels per seen class scaled down with the graph),
+2. train OpenIMA (GAT encoder + BPCL + CE, bias-reduced pseudo labels),
+3. run the two-stage inference (K-Means + Hungarian alignment), and
+4. report overall / seen / novel accuracy and the variance-imbalance metrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import OpenIMAConfig, OpenIMATrainer
+from repro.core.config import EncoderConfig, OptimizerConfig, TrainerConfig
+from repro.datasets import load_open_world_dataset
+from repro.metrics import variance_imbalance_report
+
+
+def main() -> None:
+    # 1. Data: a scaled-down synthetic stand-in for Coauthor CS.  The same
+    #    seed always produces the same graph and the same open-world split.
+    dataset = load_open_world_dataset("coauthor-cs", seed=0, scale=0.4)
+    print("Dataset:", dataset.describe())
+
+    # 2. Model: OpenIMA with a small GCN encoder so the example runs in a few
+    #    seconds on a laptop.  Swap kind="gat" for the paper's configuration.
+    config = OpenIMAConfig(
+        trainer=TrainerConfig(
+            encoder=EncoderConfig(kind="gcn", hidden_dim=64, out_dim=32, dropout=0.3),
+            optimizer=OptimizerConfig(learning_rate=5e-3, weight_decay=1e-4),
+            max_epochs=10,
+            batch_size=512,
+            seed=0,
+        ),
+        eta=1.0,    # weight of the cross-entropy term (Eq. 6)
+        rho=75.0,   # pseudo-label selection rate in percent
+    )
+    trainer = OpenIMATrainer(dataset, config)
+    trainer.fit()
+    print(f"Final training loss: {trainer.history.final_loss:.4f}")
+
+    # 3. Two-stage inference + evaluation.
+    accuracy = trainer.evaluate()
+    print(f"Test accuracy: {accuracy}")
+
+    # 4. Variance imbalance diagnostics (Eq. 2-3 of the paper).
+    embeddings = trainer.node_embeddings()
+    test_nodes = dataset.split.test_nodes
+    imbalance, separation = variance_imbalance_report(
+        embeddings[test_nodes],
+        dataset.labels[test_nodes],
+        dataset.split.seen_classes,
+        dataset.split.novel_classes,
+    )
+    print(f"Imbalance rate: {imbalance:.3f}   Separation rate: {separation:.3f}")
+
+
+if __name__ == "__main__":
+    main()

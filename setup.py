@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The offline environment has no ``wheel`` package, so the PEP 517 editable
+path (which needs ``bdist_wheel``) is unavailable; this classic ``setup.py``
+lets ``pip install -e .`` fall back to the legacy develop install.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OpenIMA: Open-World Semi-Supervised Learning for Node Classification "
+        "(ICDE 2024) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

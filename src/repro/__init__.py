@@ -1,0 +1,67 @@
+"""OpenIMA: Open-World Semi-Supervised Learning for Node Classification.
+
+A full, from-scratch reproduction of Wang et al. (ICDE 2024).  The package is
+organised as:
+
+* :mod:`repro.nn` — numpy autodiff engine, layers, optimizers (PyTorch stand-in).
+* :mod:`repro.graphs` — graph containers, utilities, synthetic generators.
+* :mod:`repro.datasets` — synthetic profiles of the paper's seven benchmarks
+  and the open-world train/val/test split protocol.
+* :mod:`repro.gnn` — GAT / GCN encoders and classification heads.
+* :mod:`repro.clustering` — K-Means (full, mini-batch, semi-supervised) and
+  the silhouette coefficient.
+* :mod:`repro.assignment` — Hungarian algorithm and cluster-class alignment.
+* :mod:`repro.metrics` — open-world accuracy, variance imbalance/separation
+  rates, and the SC&ACC model-selection metric.
+* :mod:`repro.core` — the OpenIMA method itself (BPCL losses, bias-reduced
+  pseudo labels, two-stage inference, trainer).
+* :mod:`repro.baselines` — every baseline from the paper's evaluation.
+* :mod:`repro.theory` — the two-Gaussian K-Means model and Theorem 1 checks.
+* :mod:`repro.experiments` — runners and builders for every table and figure.
+
+Quickstart::
+
+    from repro.datasets import load_open_world_dataset
+    from repro.core import OpenIMAConfig, train_openima
+
+    dataset = load_open_world_dataset("coauthor-cs", seed=0, scale=0.3)
+    trainer = train_openima(dataset, OpenIMAConfig())
+    print(trainer.evaluate())
+"""
+
+from . import (
+    assignment,
+    baselines,
+    clustering,
+    core,
+    datasets,
+    experiments,
+    gnn,
+    graphs,
+    metrics,
+    nn,
+    theory,
+)
+from .core import OpenIMAConfig, OpenIMATrainer, train_openima
+from .datasets import load_open_world_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "graphs",
+    "datasets",
+    "gnn",
+    "clustering",
+    "assignment",
+    "metrics",
+    "core",
+    "baselines",
+    "theory",
+    "experiments",
+    "OpenIMAConfig",
+    "OpenIMATrainer",
+    "train_openima",
+    "load_open_world_dataset",
+    "__version__",
+]

@@ -1,0 +1,100 @@
+"""Hungarian (Kuhn-Munkres) algorithm for optimal assignment.
+
+OpenIMA uses the Hungarian algorithm twice: to align cluster ids with class
+ids on the labeled nodes (Eq. 5) and to compute the clustering-accuracy
+evaluation metric.  This implementation is the O(n^3) shortest augmenting
+path formulation (Jonker-Volgenant style potentials) and works on
+rectangular cost matrices by padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hungarian(cost: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve the minimum-cost assignment problem.
+
+    Parameters
+    ----------
+    cost:
+        Cost matrix of shape (n, m).  If the matrix is rectangular, the
+        smaller dimension is fully matched.
+
+    Returns
+    -------
+    (row_indices, col_indices):
+        Arrays such that ``cost[row_indices, col_indices].sum()`` is minimal
+        and each row/column is used at most once.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2:
+        raise ValueError("cost must be a 2-D matrix")
+    num_rows, num_cols = cost.shape
+    transposed = False
+    if num_rows > num_cols:
+        cost = cost.T
+        num_rows, num_cols = cost.shape
+        transposed = True
+
+    # Potentials u (rows), v (columns) and matching arrays (1-based internal
+    # indexing with a dummy 0-th element, the classic formulation).
+    u = np.zeros(num_rows + 1)
+    v = np.zeros(num_cols + 1)
+    match_col = np.zeros(num_cols + 1, dtype=np.int64)  # column -> row
+    way = np.zeros(num_cols + 1, dtype=np.int64)
+
+    for row in range(1, num_rows + 1):
+        match_col[0] = row
+        current_col = 0
+        min_value = np.full(num_cols + 1, np.inf)
+        used = np.zeros(num_cols + 1, dtype=bool)
+        while True:
+            used[current_col] = True
+            current_row = match_col[current_col]
+            delta = np.inf
+            next_col = 0
+            for col in range(1, num_cols + 1):
+                if used[col]:
+                    continue
+                reduced = cost[current_row - 1, col - 1] - u[current_row] - v[col]
+                if reduced < min_value[col]:
+                    min_value[col] = reduced
+                    way[col] = current_col
+                if min_value[col] < delta:
+                    delta = min_value[col]
+                    next_col = col
+            for col in range(num_cols + 1):
+                if used[col]:
+                    u[match_col[col]] += delta
+                    v[col] -= delta
+                else:
+                    min_value[col] -= delta
+            current_col = next_col
+            if match_col[current_col] == 0:
+                break
+        # Augment along the alternating path.
+        while current_col != 0:
+            previous_col = way[current_col]
+            match_col[current_col] = match_col[previous_col]
+            current_col = previous_col
+
+    rows = []
+    cols = []
+    for col in range(1, num_cols + 1):
+        if match_col[col] != 0:
+            rows.append(match_col[col] - 1)
+            cols.append(col - 1)
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    order = np.argsort(rows)
+    rows, cols = rows[order], cols[order]
+    if transposed:
+        return cols, rows
+    return rows, cols
+
+
+def max_profit_assignment(profit: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Maximum-profit assignment (e.g. maximize matched label counts)."""
+    profit = np.asarray(profit, dtype=np.float64)
+    return hungarian(profit.max() - profit)

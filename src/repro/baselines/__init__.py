@@ -1,0 +1,69 @@
+"""Baseline methods compared against OpenIMA in the paper's evaluation.
+
+Every baseline is a :class:`~repro.core.trainer.GraphTrainer` subclass; the
+:func:`build_baseline` factory maps the method names used in the paper's
+tables to trainer classes so the experiment harness can iterate over them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.config import TrainerConfig
+from ..core.trainer import GraphTrainer
+from ..datasets.splits import OpenWorldDataset
+from .oodgat import OODGATTrainer
+from .opencon import OpenConTrainer, OpenConTwoStageTrainer
+from .openldn import OpenLDNTrainer
+from .openwgl import OpenWGLTrainer
+from .orca import ORCATrainer, ORCAZMTrainer
+from .simgcd import SimGCDTrainer
+from .two_stage import InfoNCESupConCETrainer, InfoNCESupConTrainer, InfoNCETrainer
+
+BASELINE_REGISTRY: Dict[str, Type[GraphTrainer]] = {
+    "oodgat": OODGATTrainer,
+    "openwgl": OpenWGLTrainer,
+    "orca-zm": ORCAZMTrainer,
+    "orca": ORCATrainer,
+    "simgcd": SimGCDTrainer,
+    "openldn": OpenLDNTrainer,
+    "opencon": OpenConTrainer,
+    "opencon-two-stage": OpenConTwoStageTrainer,
+    "infonce": InfoNCETrainer,
+    "infonce+supcon": InfoNCESupConTrainer,
+    "infonce+supcon+ce": InfoNCESupConCETrainer,
+}
+
+
+def available_baselines() -> list[str]:
+    """Names accepted by :func:`build_baseline` (lower-case)."""
+    return sorted(BASELINE_REGISTRY)
+
+
+def build_baseline(name: str, dataset: OpenWorldDataset,
+                   config: Optional[TrainerConfig] = None,
+                   num_novel_classes: Optional[int] = None, **kwargs) -> GraphTrainer:
+    """Instantiate a baseline trainer by its (case-insensitive) name."""
+    key = name.lower()
+    if key not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; available: {available_baselines()}")
+    trainer_cls = BASELINE_REGISTRY[key]
+    return trainer_cls(dataset, config, num_novel_classes=num_novel_classes, **kwargs)
+
+
+__all__ = [
+    "OODGATTrainer",
+    "OpenWGLTrainer",
+    "ORCATrainer",
+    "ORCAZMTrainer",
+    "SimGCDTrainer",
+    "OpenLDNTrainer",
+    "OpenConTrainer",
+    "OpenConTwoStageTrainer",
+    "InfoNCETrainer",
+    "InfoNCESupConTrainer",
+    "InfoNCESupConCETrainer",
+    "BASELINE_REGISTRY",
+    "available_baselines",
+    "build_baseline",
+]

@@ -1,0 +1,24 @@
+"""Clustering algorithms and clustering-quality metrics."""
+
+from .kmeans import (
+    KMeans,
+    KMeansResult,
+    MiniBatchKMeans,
+    cluster_embeddings,
+    kmeans_plus_plus_init,
+)
+from .metrics import inertia, pairwise_distances, silhouette_samples, silhouette_score
+from .semi_kmeans import SemiSupervisedKMeans
+
+__all__ = [
+    "KMeans",
+    "MiniBatchKMeans",
+    "SemiSupervisedKMeans",
+    "KMeansResult",
+    "cluster_embeddings",
+    "kmeans_plus_plus_init",
+    "silhouette_score",
+    "silhouette_samples",
+    "pairwise_distances",
+    "inertia",
+]

@@ -1,0 +1,182 @@
+"""K-Means clustering: full-batch Lloyd iterations and a mini-batch variant.
+
+OpenIMA uses K-Means both for bias-reduced pseudo-label generation during
+training and for the two-stage inference step.  The paper uses classic
+K-Means (k-means++ seeding) for the five mid-size graphs and mini-batch
+K-Means (Sculley, WWW 2010) for ogbn-Arxiv / ogbn-Products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a K-Means run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster assignment per sample, shape (n,).
+    centers:
+        Cluster centroids, shape (k, d).
+    inertia:
+        Sum of squared distances of samples to their assigned center.
+    n_iter:
+        Number of Lloyd iterations executed.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+
+    def distances_to_center(self, data: np.ndarray) -> np.ndarray:
+        """Euclidean distance of each sample to its assigned centroid."""
+        diffs = data - self.centers[self.labels]
+        return np.linalg.norm(diffs, axis=1)
+
+
+def _pairwise_sq_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between every sample and every center."""
+    data_sq = (data ** 2).sum(axis=1, keepdims=True)
+    centers_sq = (centers ** 2).sum(axis=1)
+    cross = data @ centers.T
+    return np.maximum(data_sq + centers_sq - 2.0 * cross, 0.0)
+
+
+def kmeans_plus_plus_init(data: np.ndarray, num_clusters: int,
+                          rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii, SODA 2007)."""
+    num_samples = data.shape[0]
+    centers = np.empty((num_clusters, data.shape[1]))
+    first = rng.integers(num_samples)
+    centers[0] = data[first]
+    closest_sq = _pairwise_sq_distances(data, centers[:1]).ravel()
+    for index in range(1, num_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers: pick randomly.
+            choice = rng.integers(num_samples)
+        else:
+            probabilities = closest_sq / total
+            choice = rng.choice(num_samples, p=probabilities)
+        centers[index] = data[choice]
+        new_sq = _pairwise_sq_distances(data, centers[index: index + 1]).ravel()
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centers
+
+
+class KMeans:
+    """Full-batch K-Means with k-means++ initialization and multiple restarts."""
+
+    def __init__(self, num_clusters: int, max_iter: int = 100, tol: float = 1e-6,
+                 n_init: int = 3, seed: int = 0):
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be positive")
+        self.num_clusters = num_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.seed = seed
+
+    def fit(self, data: np.ndarray, initial_centers: Optional[np.ndarray] = None) -> KMeansResult:
+        """Run K-Means and return the best restart by inertia."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D array (samples x features)")
+        if data.shape[0] < self.num_clusters:
+            raise ValueError(
+                f"cannot form {self.num_clusters} clusters from {data.shape[0]} samples"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: Optional[KMeansResult] = None
+        restarts = 1 if initial_centers is not None else self.n_init
+        for _ in range(restarts):
+            if initial_centers is not None:
+                centers = np.array(initial_centers, dtype=np.float64, copy=True)
+            else:
+                centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+            result = self._lloyd(data, centers)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        return best
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).labels
+
+    def _lloyd(self, data: np.ndarray, centers: np.ndarray) -> KMeansResult:
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = _pairwise_sq_distances(data, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for cluster in range(self.num_clusters):
+                members = data[labels == cluster]
+                if members.shape[0] > 0:
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the point farthest from its center.
+                    farthest = distances.min(axis=1).argmax()
+                    new_centers[cluster] = data[farthest]
+            shift = np.linalg.norm(new_centers - centers)
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = _pairwise_sq_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)
+
+
+class MiniBatchKMeans:
+    """Mini-batch K-Means (Sculley, WWW 2010) for the large-graph profiles."""
+
+    def __init__(self, num_clusters: int, batch_size: int = 1024, max_iter: int = 100,
+                 seed: int = 0):
+        self.num_clusters = num_clusters
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.seed = seed
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape[0] < self.num_clusters:
+            raise ValueError(
+                f"cannot form {self.num_clusters} clusters from {data.shape[0]} samples"
+            )
+        rng = np.random.default_rng(self.seed)
+        centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+        counts = np.zeros(self.num_clusters)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            batch_idx = rng.choice(data.shape[0], size=min(self.batch_size, data.shape[0]),
+                                   replace=False)
+            batch = data[batch_idx]
+            assignments = _pairwise_sq_distances(batch, centers).argmin(axis=1)
+            for cluster in np.unique(assignments):
+                members = batch[assignments == cluster]
+                counts[cluster] += members.shape[0]
+                learning_rate = members.shape[0] / counts[cluster]
+                centers[cluster] = (1.0 - learning_rate) * centers[cluster] + \
+                    learning_rate * members.mean(axis=0)
+        distances = _pairwise_sq_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).labels
+
+
+def cluster_embeddings(embeddings: np.ndarray, num_clusters: int, seed: int = 0,
+                       mini_batch: bool = False, batch_size: int = 1024) -> KMeansResult:
+    """Convenience wrapper choosing between K-Means and mini-batch K-Means."""
+    if mini_batch:
+        return MiniBatchKMeans(num_clusters, batch_size=batch_size, seed=seed).fit(embeddings)
+    return KMeans(num_clusters, seed=seed).fit(embeddings)

@@ -1,0 +1,77 @@
+"""Clustering quality metrics: silhouette coefficient and inertia helpers.
+
+The silhouette coefficient is one half of the paper's SC&ACC model-selection
+metric (Section V-A) and is also used to roughly estimate the number of novel
+classes (Section V-E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_distances(data: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix between all rows of ``data``."""
+    sq = (data ** 2).sum(axis=1)
+    cross = data @ data.T
+    dist_sq = np.maximum(sq[:, None] + sq[None, :] - 2.0 * cross, 0.0)
+    return np.sqrt(dist_sq)
+
+
+def silhouette_samples(data: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample silhouette values s(i) = (b(i) - a(i)) / max(a(i), b(i))."""
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if data.shape[0] != labels.shape[0]:
+        raise ValueError("data and labels must have the same length")
+    unique = np.unique(labels)
+    if unique.shape[0] < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    distances = pairwise_distances(data)
+    n = data.shape[0]
+    scores = np.zeros(n)
+    cluster_masks = {c: labels == c for c in unique}
+    for i in range(n):
+        own = cluster_masks[labels[i]].copy()
+        own[i] = False
+        own_count = own.sum()
+        if own_count == 0:
+            scores[i] = 0.0
+            continue
+        a_i = distances[i, own].mean()
+        b_i = np.inf
+        for c in unique:
+            if c == labels[i]:
+                continue
+            other = cluster_masks[c]
+            if other.sum() == 0:
+                continue
+            b_i = min(b_i, distances[i, other].mean())
+        denom = max(a_i, b_i)
+        scores[i] = 0.0 if denom == 0 else (b_i - a_i) / denom
+    return scores
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray, sample_size: int | None = 2000,
+                     seed: int = 0) -> float:
+    """Mean silhouette coefficient, optionally computed on a random subsample.
+
+    The O(n^2) distance matrix makes the exact score expensive on large
+    graphs; the paper's own large-graph runs would face the same issue, so we
+    subsample (deterministically) above ``sample_size`` points.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if sample_size is not None and data.shape[0] > sample_size:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(data.shape[0], size=sample_size, replace=False)
+        data, labels = data[idx], labels[idx]
+        if np.unique(labels).shape[0] < 2:
+            return 0.0
+    return float(silhouette_samples(data, labels).mean())
+
+
+def inertia(data: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+    """Sum of squared distances of samples to their assigned centers."""
+    diffs = data - centers[labels]
+    return float((diffs ** 2).sum())

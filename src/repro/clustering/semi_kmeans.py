@@ -1,0 +1,94 @@
+"""Semi-supervised (constrained) K-Means, as used in GCD (Vaze et al., 2022).
+
+The paper compares against the GCD-style semi-supervised K-Means, which forces
+labeled samples of the same class into the same cluster during the assignment
+step, but finds that plain K-Means works better on the graph benchmarks.  We
+implement it so the comparison can be reproduced (DESIGN.md ablation list).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .kmeans import KMeansResult, _pairwise_sq_distances, kmeans_plus_plus_init
+
+
+class SemiSupervisedKMeans:
+    """K-Means whose labeled samples are pinned to class-specific clusters.
+
+    The first ``num_seen`` clusters correspond to the seen classes (in the
+    order given by ``seen_classes``); labeled samples are always assigned to
+    the cluster of their own class.  Unlabeled samples are assigned to the
+    nearest of all clusters, exactly as in GCD.
+    """
+
+    def __init__(self, num_clusters: int, max_iter: int = 100, tol: float = 1e-6, seed: int = 0):
+        self.num_clusters = num_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+
+    def fit(
+        self,
+        data: np.ndarray,
+        labeled_indices: np.ndarray,
+        labeled_classes: np.ndarray,
+        seen_classes: Optional[np.ndarray] = None,
+    ) -> KMeansResult:
+        """Cluster ``data`` with labeled samples constrained to their class cluster.
+
+        Parameters
+        ----------
+        data:
+            Sample matrix of shape (n, d) covering labeled and unlabeled points.
+        labeled_indices:
+            Row indices of the labeled samples.
+        labeled_classes:
+            Class of each labeled sample (same length as ``labeled_indices``).
+        seen_classes:
+            The distinct seen classes; defaults to the sorted unique labels.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        labeled_indices = np.asarray(labeled_indices, dtype=np.int64)
+        labeled_classes = np.asarray(labeled_classes, dtype=np.int64)
+        if labeled_indices.shape[0] != labeled_classes.shape[0]:
+            raise ValueError("labeled_indices and labeled_classes must align")
+        if seen_classes is None:
+            seen_classes = np.unique(labeled_classes)
+        seen_classes = np.asarray(seen_classes, dtype=np.int64)
+        if seen_classes.shape[0] > self.num_clusters:
+            raise ValueError("more seen classes than clusters")
+
+        class_to_cluster = {cls: idx for idx, cls in enumerate(seen_classes)}
+        pinned = np.array([class_to_cluster[cls] for cls in labeled_classes], dtype=np.int64)
+
+        rng = np.random.default_rng(self.seed)
+        centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+        # Initialize the seen-class clusters at the labeled class means.
+        for cls, cluster in class_to_cluster.items():
+            members = data[labeled_indices[labeled_classes == cls]]
+            if members.shape[0]:
+                centers[cluster] = members.mean(axis=0)
+
+        labels = np.zeros(data.shape[0], dtype=np.int64)
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = _pairwise_sq_distances(data, centers)
+            labels = distances.argmin(axis=1)
+            labels[labeled_indices] = pinned
+            new_centers = centers.copy()
+            for cluster in range(self.num_clusters):
+                members = data[labels == cluster]
+                if members.shape[0]:
+                    new_centers[cluster] = members.mean(axis=0)
+            shift = np.linalg.norm(new_centers - centers)
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = _pairwise_sq_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        labels[labeled_indices] = pinned
+        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)

@@ -1,0 +1,46 @@
+"""OpenIMA core: configuration, losses, pseudo labels, trainer, inference."""
+
+from .config import EncoderConfig, OpenIMAConfig, OptimizerConfig, TrainerConfig, fast_config
+from .inference import InferenceResult, head_predict, two_stage_predict
+from .labels import LabelSpace
+from .losses import (
+    bpcl_loss,
+    confidence_pseudo_label_loss,
+    cross_entropy_loss,
+    entropy_regularization,
+    info_nce_loss,
+    margin_cross_entropy_loss,
+    pairwise_similarity_loss,
+    self_distillation_loss,
+    supervised_contrastive_loss,
+)
+from .openima import OpenIMATrainer, train_openima
+from .pseudo_labels import PseudoLabels, generate_pseudo_labels
+from .trainer import GraphTrainer, TrainingHistory
+
+__all__ = [
+    "EncoderConfig",
+    "OptimizerConfig",
+    "TrainerConfig",
+    "OpenIMAConfig",
+    "fast_config",
+    "LabelSpace",
+    "supervised_contrastive_loss",
+    "info_nce_loss",
+    "cross_entropy_loss",
+    "margin_cross_entropy_loss",
+    "pairwise_similarity_loss",
+    "entropy_regularization",
+    "self_distillation_loss",
+    "confidence_pseudo_label_loss",
+    "bpcl_loss",
+    "PseudoLabels",
+    "generate_pseudo_labels",
+    "GraphTrainer",
+    "TrainingHistory",
+    "InferenceResult",
+    "two_stage_predict",
+    "head_predict",
+    "OpenIMATrainer",
+    "train_openima",
+]

@@ -1,0 +1,64 @@
+"""Internal label space used during training.
+
+The head produced by every method outputs ``|C_l| + |C_n|`` logits.  Seen
+classes keep stable indices ``0..|C_l|-1`` (sorted by original class id) and
+the remaining indices are reserved for novel clusters, whose ids are
+*unordered* — they are only ever consumed by the contrastive losses, never by
+cross-entropy.  :class:`LabelSpace` converts between the dataset's original
+class ids and this internal index space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LabelSpace:
+    """Mapping between original class ids and internal training indices."""
+
+    seen_classes: np.ndarray
+    num_novel: int
+
+    def __post_init__(self):
+        self.seen_classes = np.sort(np.asarray(self.seen_classes, dtype=np.int64))
+        self._to_internal = {int(cls): idx for idx, cls in enumerate(self.seen_classes)}
+
+    @property
+    def num_seen(self) -> int:
+        return int(self.seen_classes.shape[0])
+
+    @property
+    def num_total(self) -> int:
+        """Total number of head outputs (seen + novel)."""
+        return self.num_seen + int(self.num_novel)
+
+    def to_internal(self, original_labels: np.ndarray) -> np.ndarray:
+        """Map original seen-class ids to internal indices (0..num_seen-1)."""
+        original_labels = np.asarray(original_labels, dtype=np.int64)
+        missing = set(np.unique(original_labels)) - set(self._to_internal)
+        if missing:
+            raise KeyError(f"labels {sorted(missing)} are not seen classes")
+        return np.array([self._to_internal[int(c)] for c in original_labels], dtype=np.int64)
+
+    def to_original(self, internal_labels: np.ndarray, novel_offset: int | None = None) -> np.ndarray:
+        """Map internal indices back to original ids.
+
+        Seen indices map to their original class id; novel indices map to
+        synthetic ids starting at ``novel_offset`` (default: one past the
+        largest seen class id) so that every prediction id is distinct from
+        every seen class id.
+        """
+        internal_labels = np.asarray(internal_labels, dtype=np.int64)
+        offset = int(self.seen_classes.max()) + 1 if novel_offset is None else novel_offset
+        out = np.empty_like(internal_labels)
+        seen_mask = internal_labels < self.num_seen
+        out[seen_mask] = self.seen_classes[internal_labels[seen_mask]]
+        out[~seen_mask] = internal_labels[~seen_mask] - self.num_seen + offset
+        return out
+
+    def is_seen_internal(self, internal_labels: np.ndarray) -> np.ndarray:
+        """Boolean mask of internal indices that correspond to seen classes."""
+        return np.asarray(internal_labels, dtype=np.int64) < self.num_seen

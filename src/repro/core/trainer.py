@@ -1,0 +1,210 @@
+"""Shared training-loop infrastructure for OpenIMA and every baseline.
+
+:class:`GraphTrainer` owns the GNN encoder, the classification head, the Adam
+optimizer, mini-batch sampling, and the evaluation helpers.  Subclasses only
+implement :meth:`compute_loss`, which receives the two augmented views of the
+current batch (dropout applied twice to the same input, the SimCSE recipe the
+paper follows) and returns a scalar loss tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..datasets.splits import OpenWorldDataset
+from ..gnn import ClassificationHead, build_encoder
+from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
+from ..nn import functional as F
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from .config import TrainerConfig
+from .inference import InferenceResult, two_stage_predict
+from .labels import LabelSpace
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss values and optional evaluation snapshots."""
+
+    losses: List[float] = field(default_factory=list)
+    evaluations: List[dict] = field(default_factory=list)
+
+    def record_loss(self, value: float) -> None:
+        self.losses.append(float(value))
+
+    def record_evaluation(self, epoch: int, accuracy: OpenWorldAccuracy) -> None:
+        self.evaluations.append({"epoch": epoch, **accuracy.as_dict()})
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.losses[-1] if self.losses else None
+
+
+class GraphTrainer:
+    """Base class handling the encoder/head/optimizer and the epoch loop."""
+
+    #: Human-readable method name, overridden by subclasses (used in tables).
+    method_name = "base"
+
+    def __init__(self, dataset: OpenWorldDataset, config: TrainerConfig,
+                 num_novel_classes: Optional[int] = None):
+        self.dataset = dataset
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        split = dataset.split
+        num_novel = split.num_novel if num_novel_classes is None else int(num_novel_classes)
+        self.label_space = LabelSpace(seen_classes=split.seen_classes, num_novel=num_novel)
+
+        self.encoder = build_encoder(
+            config.encoder.kind,
+            in_features=dataset.graph.num_features,
+            hidden_dim=config.encoder.hidden_dim,
+            out_dim=config.encoder.out_dim,
+            dropout=config.encoder.dropout,
+            num_heads=config.encoder.num_heads,
+            rng=self.rng,
+        )
+        self.head = ClassificationHead(
+            config.encoder.out_dim, self.label_space.num_total, rng=self.rng
+        )
+        self.optimizer = Adam(
+            self.encoder.parameters() + self.head.parameters(),
+            lr=config.optimizer.learning_rate,
+            weight_decay=config.optimizer.weight_decay,
+        )
+        self.history = TrainingHistory()
+
+        # Internal-label lookup for the labeled training nodes.
+        self._train_internal = self.label_space.to_internal(
+            dataset.labels[split.train_nodes]
+        )
+        self._train_label_lookup = -np.ones(dataset.graph.num_nodes, dtype=np.int64)
+        self._train_label_lookup[split.train_nodes] = self._train_internal
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def compute_loss(self, view1: Tensor, view2: Tensor, batch_nodes: np.ndarray) -> Tensor:
+        """Return the scalar training loss for one batch (subclass hook)."""
+        raise NotImplementedError
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Called before each epoch (pseudo-label refresh lives here)."""
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def _iterate_batches(self) -> Iterator[np.ndarray]:
+        num_nodes = self.dataset.graph.num_nodes
+        order = self.rng.permutation(num_nodes)
+        batch_size = min(self.config.batch_size, num_nodes)
+        for start in range(0, num_nodes, batch_size):
+            batch = order[start: start + batch_size]
+            if batch.shape[0] >= 2:
+                yield batch
+
+    def fit(self) -> TrainingHistory:
+        """Train for ``config.max_epochs`` epochs and return the history."""
+        self.encoder.train()
+        self.head.train()
+        for epoch in range(self.config.max_epochs):
+            self.on_epoch_start(epoch)
+            epoch_losses = []
+            for batch_nodes in self._iterate_batches():
+                loss = self._train_step(batch_nodes)
+                epoch_losses.append(loss)
+            if epoch_losses:
+                self.history.record_loss(float(np.mean(epoch_losses)))
+            if self.config.eval_every and (epoch + 1) % self.config.eval_every == 0:
+                self.history.record_evaluation(epoch, self.evaluate())
+        return self.history
+
+    def _train_step(self, batch_nodes: np.ndarray) -> float:
+        self.optimizer.zero_grad()
+        # Two stochastic forward passes through the encoder provide the
+        # dropout-based positive pairs (SimCSE / paper Section IV-C).
+        full_view1 = self.encoder(self.dataset.graph)
+        full_view2 = self.encoder(self.dataset.graph)
+        view1 = full_view1.gather_rows(batch_nodes)
+        view2 = full_view2.gather_rows(batch_nodes)
+        loss = self.compute_loss(view1, view2, batch_nodes)
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def node_embeddings(self) -> np.ndarray:
+        """Deterministic (dropout-free) embeddings of every node."""
+        return self.encoder.embed(self.dataset.graph)
+
+    def head_logits(self, embeddings: Optional[np.ndarray] = None) -> np.ndarray:
+        """Head logits for all nodes, computed without recording gradients."""
+        if embeddings is None:
+            embeddings = self.node_embeddings()
+        with no_grad():
+            logits = self.head(Tensor(embeddings))
+        return logits.numpy()
+
+    def predict(self, num_novel_classes: Optional[int] = None,
+                seed: Optional[int] = None) -> InferenceResult:
+        """Two-stage prediction over the current embeddings."""
+        embeddings = self.node_embeddings()
+        return two_stage_predict(
+            embeddings,
+            self.dataset,
+            num_novel_classes=(
+                num_novel_classes if num_novel_classes is not None else self.label_space.num_novel
+            ),
+            seed=self.config.seed if seed is None else seed,
+            mini_batch=self.config.mini_batch_kmeans,
+            kmeans_batch_size=self.config.kmeans_batch_size,
+        )
+
+    def evaluate(self, num_novel_classes: Optional[int] = None) -> OpenWorldAccuracy:
+        """Open-world accuracy on the test nodes."""
+        result = self.predict(num_novel_classes=num_novel_classes)
+        test_nodes = self.dataset.split.test_nodes
+        return open_world_accuracy(
+            result.predictions[test_nodes],
+            self.dataset.labels[test_nodes],
+            self.dataset.split.seen_classes,
+        )
+
+    def validation_accuracy(self) -> float:
+        """Clustering accuracy on the validation nodes (used by SC&ACC)."""
+        result = self.predict()
+        val_nodes = self.dataset.split.val_nodes
+        accuracy = open_world_accuracy(
+            result.predictions[val_nodes],
+            self.dataset.labels[val_nodes],
+            self.dataset.split.seen_classes,
+        )
+        return accuracy.overall
+
+    # ------------------------------------------------------------------
+    # Shared building blocks for subclasses
+    # ------------------------------------------------------------------
+    def batch_manual_labels(self, batch_nodes: np.ndarray) -> np.ndarray:
+        """Internal labels of the batch's labeled nodes, -1 elsewhere."""
+        return self._train_label_lookup[batch_nodes]
+
+    def normalized_views(self, view1: Tensor, view2: Tensor) -> Tensor:
+        """L2-normalize and stack the two views into the 2N contrastive layout."""
+        from .losses import concat_views
+
+        normalized1 = F.l2_normalize(view1, axis=-1)
+        normalized2 = F.l2_normalize(view2, axis=-1)
+        return concat_views(normalized1, normalized2)
+
+    def normalized_logit_views(self, view1: Tensor, view2: Tensor) -> Tensor:
+        """L2-normalized head logits for both views (Eq. 8 inputs)."""
+        from .losses import concat_views
+
+        logits1 = self.head.normalized_logits(view1)
+        logits2 = self.head.normalized_logits(view2)
+        return concat_views(logits1, logits2)

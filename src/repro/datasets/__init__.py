@@ -1,0 +1,43 @@
+"""Synthetic open-world SSL datasets mirroring the paper's seven benchmarks."""
+
+from .registry import (
+    AMAZON_COMPUTERS,
+    AMAZON_PHOTOS,
+    CITESEER,
+    COAUTHOR_CS,
+    COAUTHOR_PHYSICS,
+    OGBN_ARXIV,
+    OGBN_PRODUCTS,
+    DatasetProfile,
+    available_datasets,
+    get_profile,
+    register_profile,
+)
+from .splits import OpenWorldDataset, OpenWorldSplit, make_open_world_split
+from .synthetic import (
+    dataset_statistics,
+    load_graph,
+    load_open_world_dataset,
+    stratified_node_sample,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "available_datasets",
+    "get_profile",
+    "register_profile",
+    "CITESEER",
+    "AMAZON_PHOTOS",
+    "AMAZON_COMPUTERS",
+    "COAUTHOR_CS",
+    "COAUTHOR_PHYSICS",
+    "OGBN_ARXIV",
+    "OGBN_PRODUCTS",
+    "OpenWorldSplit",
+    "OpenWorldDataset",
+    "make_open_world_split",
+    "load_graph",
+    "load_open_world_dataset",
+    "dataset_statistics",
+    "stratified_node_sample",
+]

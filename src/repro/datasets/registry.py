@@ -1,0 +1,239 @@
+"""Dataset registry mapping the paper's seven benchmarks to synthetic profiles.
+
+Table II of the paper lists the statistics of the real datasets.  Because this
+environment is offline, each benchmark is represented by a synthetic profile
+that preserves the properties relevant to open-world SSL (number of classes,
+relative density, feature richness, class imbalance), scaled down in node
+count so experiments run on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..graphs.generators import SBMConfig
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A named synthetic stand-in for one of the paper's benchmarks.
+
+    Attributes
+    ----------
+    name:
+        Registry key (kebab-case).
+    paper_name:
+        The dataset name as printed in the paper.
+    paper_nodes / paper_edges / paper_features / paper_classes:
+        Statistics from Table II of the paper (for reporting only).
+    sbm:
+        Generator configuration used to build the synthetic stand-in.
+    labels_per_class:
+        Number of labeled training nodes per seen class (the paper uses 50,
+        or 500 for the two OGB graphs; scaled with the synthetic profile).
+    large_scale:
+        Whether the paper treats this dataset as "large" (mini-batch K-Means
+        and the large-graph refinements of OpenIMA are used).
+    """
+
+    name: str
+    paper_name: str
+    paper_nodes: int
+    paper_edges: int
+    paper_features: int
+    paper_classes: int
+    sbm: SBMConfig
+    labels_per_class: int
+    large_scale: bool = False
+
+
+_PROFILES: Dict[str, DatasetProfile] = {}
+
+
+def _register(profile: DatasetProfile) -> DatasetProfile:
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+CITESEER = _register(
+    DatasetProfile(
+        name="citeseer",
+        paper_name="Citeseer",
+        paper_nodes=3_327,
+        paper_edges=4_676,
+        paper_features=3_703,
+        paper_classes=6,
+        sbm=SBMConfig(
+            num_nodes=900,
+            num_classes=6,
+            avg_degree=2.8,
+            homophily=0.74,
+            feature_dim=128,
+            feature_sparsity=0.85,
+            feature_noise=1.3,
+        ),
+        labels_per_class=25,
+    )
+)
+
+AMAZON_PHOTOS = _register(
+    DatasetProfile(
+        name="amazon-photos",
+        paper_name="Amazon Photos",
+        paper_nodes=7_650,
+        paper_edges=119_082,
+        paper_features=745,
+        paper_classes=8,
+        sbm=SBMConfig(
+            num_nodes=1_200,
+            num_classes=8,
+            avg_degree=16.0,
+            homophily=0.83,
+            feature_dim=96,
+            feature_sparsity=0.6,
+            feature_noise=1.2,
+            degree_exponent=2.0,
+        ),
+        labels_per_class=25,
+    )
+)
+
+AMAZON_COMPUTERS = _register(
+    DatasetProfile(
+        name="amazon-computers",
+        paper_name="Amazon Computers",
+        paper_nodes=13_752,
+        paper_edges=245_861,
+        paper_features=767,
+        paper_classes=10,
+        sbm=SBMConfig(
+            num_nodes=1_500,
+            num_classes=10,
+            avg_degree=18.0,
+            homophily=0.78,
+            feature_dim=96,
+            feature_sparsity=0.6,
+            feature_noise=1.5,
+            class_imbalance=0.8,
+            degree_exponent=1.9,
+        ),
+        labels_per_class=25,
+    )
+)
+
+COAUTHOR_CS = _register(
+    DatasetProfile(
+        name="coauthor-cs",
+        paper_name="Coauthor CS",
+        paper_nodes=18_333,
+        paper_edges=81_894,
+        paper_features=6_805,
+        paper_classes=15,
+        sbm=SBMConfig(
+            num_nodes=1_800,
+            num_classes=15,
+            avg_degree=9.0,
+            homophily=0.81,
+            feature_dim=160,
+            feature_sparsity=0.75,
+            feature_noise=1.4,
+            class_imbalance=0.5,
+        ),
+        labels_per_class=25,
+    )
+)
+
+COAUTHOR_PHYSICS = _register(
+    DatasetProfile(
+        name="coauthor-physics",
+        paper_name="Coauthor Physics",
+        paper_nodes=34_493,
+        paper_edges=247_962,
+        paper_features=8_415,
+        paper_classes=5,
+        sbm=SBMConfig(
+            num_nodes=1_500,
+            num_classes=5,
+            avg_degree=14.0,
+            homophily=0.87,
+            feature_dim=160,
+            feature_sparsity=0.75,
+            feature_noise=1.2,
+            class_imbalance=0.6,
+        ),
+        labels_per_class=25,
+    )
+)
+
+OGBN_ARXIV = _register(
+    DatasetProfile(
+        name="ogbn-arxiv",
+        paper_name="ogbn-Arxiv",
+        paper_nodes=169_343,
+        paper_edges=1_166_243,
+        paper_features=128,
+        paper_classes=40,
+        sbm=SBMConfig(
+            num_nodes=4_000,
+            num_classes=40,
+            avg_degree=13.0,
+            homophily=0.65,
+            feature_dim=128,
+            feature_sparsity=0.0,
+            feature_noise=1.3,
+            class_imbalance=1.0,
+        ),
+        labels_per_class=40,
+        large_scale=True,
+    )
+)
+
+OGBN_PRODUCTS = _register(
+    DatasetProfile(
+        name="ogbn-products",
+        paper_name="ogbn-Products",
+        paper_nodes=2_449_029,
+        paper_edges=61_859_140,
+        paper_features=100,
+        paper_classes=47,
+        sbm=SBMConfig(
+            num_nodes=5_000,
+            num_classes=47,
+            avg_degree=25.0,
+            homophily=0.8,
+            feature_dim=100,
+            feature_sparsity=0.0,
+            feature_noise=1.1,
+            class_imbalance=1.2,
+            degree_exponent=1.8,
+        ),
+        labels_per_class=40,
+        large_scale=True,
+    )
+)
+
+
+def available_datasets() -> list[str]:
+    """Names of all registered dataset profiles."""
+    return sorted(_PROFILES)
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a dataset profile by name.
+
+    Raises ``KeyError`` with the list of valid names if ``name`` is unknown.
+    """
+    try:
+        return _PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from exc
+
+
+def register_profile(profile: DatasetProfile, overwrite: bool = False) -> DatasetProfile:
+    """Register a custom dataset profile (e.g. for user-provided graphs)."""
+    if profile.name in _PROFILES and not overwrite:
+        raise ValueError(f"profile {profile.name!r} already registered")
+    return _register(profile)

@@ -1,0 +1,179 @@
+"""Open-world SSL data splits.
+
+The paper's protocol (Section V-A): for each graph, 50% of classes are
+randomly selected as *seen* classes and the rest become *novel* classes.  For
+each seen class, a fixed number of nodes are sampled for the labeled training
+set and the same number for the validation set; every remaining node (from
+both seen and novel classes) forms the unlabeled/test set.  Ten random seeds
+produce ten different splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+
+@dataclass
+class OpenWorldSplit:
+    """Node and class partition for an open-world SSL experiment.
+
+    Attributes
+    ----------
+    seen_classes:
+        Sorted array of class ids that have labels.
+    novel_classes:
+        Sorted array of class ids that never appear in the labeled set.
+    train_nodes:
+        Labeled nodes (all from seen classes).
+    val_nodes:
+        Validation nodes (all from seen classes, used for model selection).
+    test_nodes:
+        Unlabeled evaluation nodes (from seen and novel classes).
+    seed:
+        Random seed that produced this split.
+    """
+
+    seen_classes: np.ndarray
+    novel_classes: np.ndarray
+    train_nodes: np.ndarray
+    val_nodes: np.ndarray
+    test_nodes: np.ndarray
+    seed: int = 0
+
+    def __post_init__(self):
+        self.seen_classes = np.asarray(self.seen_classes, dtype=np.int64)
+        self.novel_classes = np.asarray(self.novel_classes, dtype=np.int64)
+        self.train_nodes = np.asarray(self.train_nodes, dtype=np.int64)
+        self.val_nodes = np.asarray(self.val_nodes, dtype=np.int64)
+        self.test_nodes = np.asarray(self.test_nodes, dtype=np.int64)
+
+    @property
+    def num_seen(self) -> int:
+        return int(self.seen_classes.shape[0])
+
+    @property
+    def num_novel(self) -> int:
+        return int(self.novel_classes.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return self.num_seen + self.num_novel
+
+    def unlabeled_nodes(self) -> np.ndarray:
+        """Alias for the test nodes (the transductive unlabeled set)."""
+        return self.test_nodes
+
+    def describe(self) -> dict:
+        """Summary dictionary used in reports and logs."""
+        return {
+            "seed": self.seed,
+            "num_seen_classes": self.num_seen,
+            "num_novel_classes": self.num_novel,
+            "num_train": int(self.train_nodes.shape[0]),
+            "num_val": int(self.val_nodes.shape[0]),
+            "num_test": int(self.test_nodes.shape[0]),
+        }
+
+
+@dataclass
+class OpenWorldDataset:
+    """A graph together with an open-world split and convenience accessors."""
+
+    graph: Graph
+    split: OpenWorldSplit
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def labels(self) -> np.ndarray:
+        if self.graph.labels is None:
+            raise ValueError("the underlying graph has no labels")
+        return self.graph.labels
+
+    def train_labels(self) -> np.ndarray:
+        """Ground-truth labels of the labeled training nodes."""
+        return self.labels[self.split.train_nodes]
+
+    def seen_mask(self, nodes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Boolean mask marking nodes whose true class is a seen class."""
+        nodes = self.split.test_nodes if nodes is None else nodes
+        return np.isin(self.labels[nodes], self.split.seen_classes)
+
+    def describe(self) -> dict:
+        info = {
+            "name": self.name,
+            "num_nodes": self.graph.num_nodes,
+            "num_edges": self.graph.num_edges,
+            "num_features": self.graph.num_features,
+            "num_classes": self.graph.num_classes,
+        }
+        info.update(self.split.describe())
+        return info
+
+
+def make_open_world_split(
+    graph: Graph,
+    seen_fraction: float = 0.5,
+    labels_per_class: int = 50,
+    seed: int = 0,
+    seen_classes: Optional[np.ndarray] = None,
+) -> OpenWorldSplit:
+    """Create an open-world split following the paper's protocol.
+
+    Parameters
+    ----------
+    graph:
+        Labeled graph to split.
+    seen_fraction:
+        Fraction of classes that become seen classes (paper uses 0.5).
+    labels_per_class:
+        Nodes sampled per seen class for *each* of the train and validation
+        sets (paper: 50, or 500 on the OGB graphs).
+    seed:
+        Random seed controlling both the class split and node sampling.
+    seen_classes:
+        Optionally fix the seen classes instead of sampling them.
+    """
+    if graph.labels is None:
+        raise ValueError("graph must have labels to build an open-world split")
+    rng = np.random.default_rng(seed)
+    all_classes = np.unique(graph.labels)
+    if all_classes.shape[0] < 2:
+        raise ValueError("need at least two classes for an open-world split")
+
+    if seen_classes is None:
+        num_seen = max(1, int(round(seen_fraction * all_classes.shape[0])))
+        num_seen = min(num_seen, all_classes.shape[0] - 1)
+        seen_classes = rng.choice(all_classes, size=num_seen, replace=False)
+    seen_classes = np.sort(np.asarray(seen_classes, dtype=np.int64))
+    novel_classes = np.setdiff1d(all_classes, seen_classes)
+    if novel_classes.size == 0:
+        raise ValueError("at least one class must remain novel")
+
+    train_nodes: list[int] = []
+    val_nodes: list[int] = []
+    for cls in seen_classes:
+        nodes = np.where(graph.labels == cls)[0]
+        rng.shuffle(nodes)
+        budget = min(labels_per_class, max(1, nodes.shape[0] // 3))
+        train_nodes.extend(nodes[:budget])
+        val_nodes.extend(nodes[budget: 2 * budget])
+
+    train_nodes = np.asarray(sorted(train_nodes), dtype=np.int64)
+    val_nodes = np.asarray(sorted(val_nodes), dtype=np.int64)
+    held_out = np.union1d(train_nodes, val_nodes)
+    test_nodes = np.setdiff1d(np.arange(graph.num_nodes), held_out)
+
+    return OpenWorldSplit(
+        seen_classes=seen_classes,
+        novel_classes=novel_classes,
+        train_nodes=train_nodes,
+        val_nodes=val_nodes,
+        test_nodes=test_nodes,
+        seed=seed,
+    )

@@ -1,0 +1,75 @@
+"""Persist experiment results to JSON and load them back.
+
+The benchmark harness writes plain-text reports; this module adds a
+machine-readable companion so downstream analysis (plots, significance
+tests, regression tracking across code changes) can consume the same
+results without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..metrics.accuracy import OpenWorldAccuracy
+from .runner import AggregatedResult, RunResult
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Convert numpy / dataclass values into JSON-serializable structures."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, OpenWorldAccuracy):
+        return value.as_dict()
+    if isinstance(value, RunResult):
+        return value.as_dict()
+    if isinstance(value, AggregatedResult):
+        return {
+            "method": value.method,
+            "dataset": value.dataset,
+            "accuracy": value.accuracy.as_dict(),
+            "imbalance_rate": value.imbalance_rate,
+            "separation_rate": value.separation_rate,
+            "runs": [_to_jsonable(run) for run in value.runs],
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def save_results(results: Any, path: str | Path) -> Path:
+    """Write experiment results (nested dicts / dataclasses) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = _to_jsonable(results)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> Any:
+    """Load a JSON results file written by :func:`save_results`."""
+    return json.loads(Path(path).read_text())
+
+
+def accuracy_grid(results: Mapping[str, Mapping[str, AggregatedResult]]) -> dict:
+    """Flatten a method x dataset grid into ``{method: {dataset: {all, seen, novel}}}``."""
+    grid: dict = {}
+    for method, per_dataset in results.items():
+        grid[method] = {
+            dataset: entry.accuracy.as_dict() for dataset, entry in per_dataset.items()
+        }
+    return grid

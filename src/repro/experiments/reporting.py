@@ -1,0 +1,57 @@
+"""Plain-text report formatting for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [
+        [str(h)] for h in headers
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (nan-safe)."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value * 100:.{digits}f}"
+
+
+def format_accuracy_table(
+    results: Mapping[str, Mapping[str, object]],
+    datasets: Sequence[str],
+    title: str = "",
+) -> str:
+    """Format a Table III/IV style accuracy grid.
+
+    ``results[method][dataset]`` must expose ``accuracy.overall/seen/novel``.
+    """
+    headers = ["Method"]
+    for dataset in datasets:
+        headers.extend([f"{dataset}:All", f"{dataset}:Seen", f"{dataset}:Novel"])
+    rows = []
+    for method, per_dataset in results.items():
+        row = [method]
+        for dataset in datasets:
+            entry = per_dataset.get(dataset)
+            if entry is None:
+                row.extend(["-", "-", "-"])
+            else:
+                accuracy = entry.accuracy
+                row.extend([percent(accuracy.overall), percent(accuracy.seen),
+                            percent(accuracy.novel)])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,86 @@
+"""Graph Convolutional Network (GCN) encoder.
+
+The paper's experiments use GAT, but the method is encoder-agnostic; GCN is
+provided as a lighter alternative used in tests, ablations, and the fast
+benchmark profiles.  The propagation matrix ``D^{-1/2}(A+I)D^{-1/2}`` is
+precomputed with scipy sparse and treated as a constant; only the layer
+weights receive gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.utils import normalized_adjacency
+from ..nn.layers import Dropout, Linear, Module
+from ..nn.tensor import Tensor
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``relu(\\hat{A} X W)`` (activation applied by caller)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, propagation: np.ndarray) -> Tensor:
+        projected = self.linear(x)
+        # The propagation matrix is a constant: multiply the numpy data and
+        # re-wrap while preserving gradients through a custom closure.
+        propagated_data = propagation @ projected.data
+
+        def backward(grad: np.ndarray) -> None:
+            projected._accumulate(propagation.T @ grad)
+
+        return Tensor._make(propagated_data, (projected,), backward)
+
+
+class GCNEncoder(Module):
+    """Two-layer GCN encoder with dropout, mirroring :class:`GATEncoder`'s API."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int = 128,
+        out_dim: int = 64,
+        dropout: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.layer1 = GCNLayer(in_features, hidden_dim, rng=rng)
+        self.layer2 = GCNLayer(hidden_dim, out_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.out_dim = out_dim
+        self._cached_propagation: Optional[np.ndarray] = None
+        self._cached_graph_id: Optional[int] = None
+
+    def _propagation(self, graph: Graph) -> np.ndarray:
+        if self._cached_graph_id != id(graph):
+            self._cached_propagation = normalized_adjacency(graph).toarray()
+            self._cached_graph_id = id(graph)
+        return self._cached_propagation
+
+    def forward(self, graph: Graph) -> Tensor:
+        propagation = self._propagation(graph)
+        x = self.dropout(Tensor(graph.features))
+        hidden = self.layer1(x, propagation).relu()
+        hidden = self.dropout(hidden)
+        return self.layer2(hidden, propagation)
+
+    def embed(self, graph: Graph) -> np.ndarray:
+        """Inference-mode embeddings as a plain numpy array."""
+        from ..nn.tensor import no_grad
+
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                output = self.forward(graph)
+        finally:
+            self.train(was_training)
+        return output.numpy()

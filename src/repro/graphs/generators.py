@@ -1,0 +1,221 @@
+"""Synthetic attributed graph generators.
+
+Because the public benchmark graphs used in the paper (Citeseer, Amazon
+Photos/Computers, Coauthor CS/Physics, ogbn-Arxiv/Products) are not available
+in this offline environment, we generate stand-ins with a degree-corrected
+stochastic block model (DC-SBM) and class-conditional sparse features.  The
+generator controls the properties that drive open-world SSL behaviour:
+
+* number of classes and (imbalanced) class sizes,
+* edge homophily (within- vs between-class edge probability),
+* a power-law degree propensity (hubs, as in co-purchase graphs),
+* feature dimensionality, sparsity, and signal-to-noise ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .graph import Graph
+from .utils import remove_self_loops, symmetrize_edges
+
+
+@dataclass(frozen=True)
+class SBMConfig:
+    """Configuration for :func:`generate_sbm_graph`.
+
+    Attributes
+    ----------
+    num_nodes:
+        Total number of nodes.
+    num_classes:
+        Number of ground-truth classes (blocks).
+    avg_degree:
+        Target average (undirected) degree.
+    homophily:
+        Fraction of a node's edges expected to stay within its own class.
+    feature_dim:
+        Dimensionality of node features.
+    feature_sparsity:
+        Fraction of feature entries that are zero (bag-of-words style).
+    feature_noise:
+        Standard deviation of Gaussian noise added on top of the class
+        signature; larger values make classes harder to separate from
+        features alone.
+    class_imbalance:
+        Exponent of the power-law class-size distribution; 0 gives balanced
+        classes, larger values give increasingly skewed class sizes.
+    degree_exponent:
+        Pareto exponent of the per-node degree propensity; smaller values
+        give heavier-tailed degree distributions (hub-dominated graphs).
+    signature_correlation:
+        Correlation between the feature signatures of sibling classes
+        (classes 2k and 2k+1 share a base signature).  0 gives independent
+        signatures; values near 1 make sibling classes nearly
+        indistinguishable from features alone, so that label information is
+        required to separate them — the regime where the paper's variance
+        imbalance matters most.
+    """
+
+    num_nodes: int
+    num_classes: int
+    avg_degree: float = 10.0
+    homophily: float = 0.8
+    feature_dim: int = 64
+    feature_sparsity: float = 0.7
+    feature_noise: float = 0.6
+    class_imbalance: float = 0.0
+    degree_exponent: float = 2.5
+    signature_correlation: float = 0.0
+
+
+def _class_sizes(config: SBMConfig, rng: np.random.Generator) -> np.ndarray:
+    """Split ``num_nodes`` into per-class sizes following the imbalance setting."""
+    if config.class_imbalance <= 0:
+        base = np.full(config.num_classes, config.num_nodes // config.num_classes)
+        base[: config.num_nodes % config.num_classes] += 1
+        return base
+    weights = np.arange(1, config.num_classes + 1, dtype=np.float64) ** (
+        -config.class_imbalance
+    )
+    weights = weights / weights.sum()
+    sizes = np.maximum(1, np.round(weights * config.num_nodes).astype(np.int64))
+    # Adjust to hit num_nodes exactly.
+    while sizes.sum() > config.num_nodes:
+        sizes[np.argmax(sizes)] -= 1
+    while sizes.sum() < config.num_nodes:
+        sizes[np.argmin(sizes)] += 1
+    rng.shuffle(sizes)
+    return sizes
+
+
+def _sample_edges(labels: np.ndarray, config: SBMConfig, rng: np.random.Generator) -> np.ndarray:
+    """Sample undirected edges with a degree-corrected block model."""
+    num_nodes = labels.shape[0]
+    target_edges = int(config.avg_degree * num_nodes / 2)
+    # Per-node propensity: Pareto-distributed so some nodes become hubs.
+    propensity = rng.pareto(config.degree_exponent, size=num_nodes) + 1.0
+    propensity /= propensity.sum()
+
+    intra_edges = int(target_edges * config.homophily)
+    inter_edges = target_edges - intra_edges
+
+    sources: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+
+    # Intra-class edges: pick a class proportional to its total propensity,
+    # then two nodes inside it proportional to their propensity.
+    classes = np.unique(labels)
+    class_nodes = {c: np.where(labels == c)[0] for c in classes}
+    class_weight = np.array([propensity[class_nodes[c]].sum() for c in classes])
+    class_weight = class_weight / class_weight.sum()
+    chosen_classes = rng.choice(classes, size=intra_edges, p=class_weight)
+    for c in classes:
+        count = int((chosen_classes == c).sum())
+        if count == 0 or class_nodes[c].shape[0] < 2:
+            continue
+        nodes = class_nodes[c]
+        weights = propensity[nodes] / propensity[nodes].sum()
+        src = rng.choice(nodes, size=count, p=weights)
+        dst = rng.choice(nodes, size=count, p=weights)
+        sources.append(src)
+        targets.append(dst)
+
+    # Inter-class edges: sample two endpoints globally and keep cross-class pairs.
+    if inter_edges > 0:
+        oversample = int(inter_edges * 1.5) + 10
+        src = rng.choice(num_nodes, size=oversample, p=propensity)
+        dst = rng.choice(num_nodes, size=oversample, p=propensity)
+        cross = labels[src] != labels[dst]
+        sources.append(src[cross][:inter_edges])
+        targets.append(dst[cross][:inter_edges])
+
+    src = np.concatenate(sources) if sources else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(targets) if targets else np.empty(0, dtype=np.int64)
+    edge_index = np.vstack([src, dst]).astype(np.int64)
+    edge_index = remove_self_loops(edge_index)
+    return symmetrize_edges(edge_index)
+
+
+def _sample_features(labels: np.ndarray, config: SBMConfig, rng: np.random.Generator) -> np.ndarray:
+    """Class-conditional sparse features (bag-of-words flavor)."""
+    num_nodes = labels.shape[0]
+    signatures = rng.normal(0.0, 1.0, size=(config.num_classes, config.feature_dim))
+    if config.signature_correlation > 0:
+        # Sibling classes (2k, 2k+1) share a base signature so that features
+        # alone cannot reliably tell them apart.
+        rho = np.clip(config.signature_correlation, 0.0, 1.0)
+        num_bases = (config.num_classes + 1) // 2
+        bases = rng.normal(0.0, 1.0, size=(num_bases, config.feature_dim))
+        base_per_class = bases[np.arange(config.num_classes) // 2]
+        signatures = np.sqrt(rho) * base_per_class + np.sqrt(1.0 - rho) * signatures
+    features = signatures[labels] + rng.normal(
+        0.0, config.feature_noise, size=(num_nodes, config.feature_dim)
+    )
+    if config.feature_sparsity > 0:
+        mask = rng.random((num_nodes, config.feature_dim)) >= config.feature_sparsity
+        features = features * mask
+    return features
+
+
+def generate_sbm_graph(config: SBMConfig, seed: int = 0, name: str = "sbm") -> Graph:
+    """Generate an attributed DC-SBM graph according to ``config``."""
+    if config.num_classes < 2:
+        raise ValueError("need at least two classes")
+    if config.num_nodes < config.num_classes:
+        raise ValueError("need at least one node per class")
+    rng = np.random.default_rng(seed)
+    sizes = _class_sizes(config, rng)
+    labels = np.repeat(np.arange(config.num_classes), sizes)
+    rng.shuffle(labels)
+    edge_index = _sample_edges(labels, config, rng)
+    features = _sample_features(labels, config, rng)
+    return Graph(features=features, edge_index=edge_index, labels=labels, name=name)
+
+
+def generate_two_gaussian_samples(
+    mean_distance: float,
+    std_seen: float,
+    std_novel: float,
+    num_samples: int,
+    dim: int = 2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample from the two spherical Gaussians of the paper's theoretical model.
+
+    Class 1 ("seen") has standard deviation ``std_seen``; class 2 ("novel")
+    has ``std_novel``; their means are ``mean_distance`` apart along the
+    first axis.  Returns ``(samples, labels)`` with labels in {0, 1}.
+    """
+    rng = np.random.default_rng(seed)
+    half = num_samples // 2
+    mean1 = np.zeros(dim)
+    mean2 = np.zeros(dim)
+    mean2[0] = mean_distance
+    class1 = rng.normal(mean1, std_seen, size=(half, dim))
+    class2 = rng.normal(mean2, std_novel, size=(num_samples - half, dim))
+    samples = np.vstack([class1, class2])
+    labels = np.concatenate([np.zeros(half, dtype=np.int64), np.ones(num_samples - half, dtype=np.int64)])
+    order = rng.permutation(num_samples)
+    return samples[order], labels[order]
+
+
+def featureless_identity_features(num_nodes: int) -> np.ndarray:
+    """One-hot identity features for featureless graphs (used in tests)."""
+    return np.eye(num_nodes)
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float, seed: int = 0,
+                      labels: Optional[Sequence[int]] = None) -> Graph:
+    """Small Erdos-Renyi graph used by unit tests and failure-injection tests."""
+    rng = np.random.default_rng(seed)
+    upper = rng.random((num_nodes, num_nodes)) < edge_probability
+    upper = np.triu(upper, k=1)
+    src, dst = np.where(upper)
+    edge_index = symmetrize_edges(np.vstack([src, dst]))
+    features = rng.normal(size=(num_nodes, 8))
+    label_array = None if labels is None else np.asarray(labels, dtype=np.int64)
+    return Graph(features=features, edge_index=edge_index, labels=label_array, name="erdos-renyi")

@@ -1,0 +1,127 @@
+"""Graph container used across the repository.
+
+A :class:`Graph` stores node features, an edge index in COO format (2 x E,
+directed edges; undirected graphs store both directions), and optional node
+labels.  It mirrors the minimal subset of ``torch_geometric.data.Data``
+required by the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class Graph:
+    """An attributed graph with integer node labels.
+
+    Attributes
+    ----------
+    features:
+        Dense node feature matrix of shape (num_nodes, num_features).
+    edge_index:
+        Array of shape (2, num_edges) with directed edges (source, target).
+        For undirected graphs both directions are present.
+    labels:
+        Integer class labels of shape (num_nodes,), or None for unlabeled
+        graphs.
+    name:
+        Optional human-readable name (e.g. the dataset profile name).
+    """
+
+    features: np.ndarray
+    edge_index: np.ndarray
+    labels: Optional[np.ndarray] = None
+    name: str = ""
+    _adjacency_cache: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.edge_index = np.asarray(self.edge_index, dtype=np.int64)
+        if self.edge_index.ndim != 2 or self.edge_index.shape[0] != 2:
+            raise ValueError("edge_index must have shape (2, num_edges)")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64)
+            if self.labels.shape[0] != self.features.shape[0]:
+                raise ValueError("labels must have one entry per node")
+        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
+            raise ValueError("edge_index refers to a node that does not exist")
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges stored in ``edge_index``."""
+        return self.edge_index.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            return 0
+        return int(self.labels.max()) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, features={self.num_features}, "
+            f"classes={self.num_classes})"
+        )
+
+    # -- derived structures ------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Sparse adjacency matrix (cached)."""
+        if self._adjacency_cache is None:
+            src, dst = self.edge_index
+            data = np.ones(self.num_edges)
+            self._adjacency_cache = sp.csr_matrix(
+                (data, (src, dst)), shape=(self.num_nodes, self.num_nodes)
+            )
+        return self._adjacency_cache
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node based on the stored directed edges."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(counts, self.edge_index[0], 1)
+        return counts
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Return the targets of edges leaving ``node``."""
+        mask = self.edge_index[0] == node
+        return self.edge_index[1][mask]
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph (caches are not copied)."""
+        return Graph(
+            features=self.features.copy(),
+            edge_index=self.edge_index.copy(),
+            labels=None if self.labels is None else self.labels.copy(),
+            name=self.name,
+        )
+
+    def subgraph(self, nodes: np.ndarray) -> "Graph":
+        """Node-induced subgraph with relabeled node indices."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        node_set = np.zeros(self.num_nodes, dtype=bool)
+        node_set[nodes] = True
+        mapping = -np.ones(self.num_nodes, dtype=np.int64)
+        mapping[nodes] = np.arange(nodes.shape[0])
+        src, dst = self.edge_index
+        keep = node_set[src] & node_set[dst]
+        new_edges = np.vstack([mapping[src[keep]], mapping[dst[keep]]])
+        return Graph(
+            features=self.features[nodes],
+            edge_index=new_edges,
+            labels=None if self.labels is None else self.labels[nodes],
+            name=f"{self.name}-sub",
+        )

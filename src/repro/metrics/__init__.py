@@ -1,0 +1,37 @@
+"""Evaluation metrics: open-world accuracy, variance imbalance, model selection."""
+
+from .accuracy import OpenWorldAccuracy, open_world_accuracy, plain_accuracy
+from .selection import (
+    CandidateScore,
+    combined_sc_acc,
+    estimate_num_novel_classes,
+    minmax_normalize,
+    score_candidate,
+    select_best_candidate,
+)
+from .variance import (
+    ClassStatistics,
+    class_statistics,
+    intra_class_variance,
+    pair_imbalance_rate,
+    pair_separation_rate,
+    variance_imbalance_report,
+)
+
+__all__ = [
+    "OpenWorldAccuracy",
+    "open_world_accuracy",
+    "plain_accuracy",
+    "ClassStatistics",
+    "class_statistics",
+    "pair_imbalance_rate",
+    "pair_separation_rate",
+    "variance_imbalance_report",
+    "intra_class_variance",
+    "CandidateScore",
+    "combined_sc_acc",
+    "minmax_normalize",
+    "select_best_candidate",
+    "score_candidate",
+    "estimate_num_novel_classes",
+]

@@ -1,0 +1,117 @@
+"""Model-selection metrics for open-world SSL (Section V-A and Table VII).
+
+Validation accuracy alone biases hyper-parameter selection toward seen
+classes because the validation set contains only seen classes.  The paper
+combines the silhouette coefficient (computed on validation + test
+embeddings with the predicted cluster labels) and the validation clustering
+accuracy into a single score:
+
+    SC&ACC = 0.5 * minmax(SC) + 0.5 * minmax(ACC)
+
+where the min-max normalization is taken over the candidate hyper-parameter
+configurations being compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..clustering.metrics import silhouette_score
+
+
+@dataclass
+class CandidateScore:
+    """Raw SC and ACC values of one hyper-parameter candidate."""
+
+    name: str
+    silhouette: float
+    validation_accuracy: float
+
+
+def minmax_normalize(values: Sequence[float]) -> np.ndarray:
+    """Min-max normalize a sequence; constant sequences map to all ones."""
+    array = np.asarray(values, dtype=np.float64)
+    low, high = array.min(), array.max()
+    if high - low <= 1e-12:
+        return np.ones_like(array)
+    return (array - low) / (high - low)
+
+
+def combined_sc_acc(candidates: Sequence[CandidateScore], weight: float = 0.5) -> np.ndarray:
+    """SC&ACC score for every candidate (higher is better)."""
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    sc = minmax_normalize([c.silhouette for c in candidates])
+    acc = minmax_normalize([c.validation_accuracy for c in candidates])
+    return weight * sc + (1.0 - weight) * acc
+
+
+def select_best_candidate(candidates: Sequence[CandidateScore],
+                          metric: str = "sc&acc") -> CandidateScore:
+    """Pick a candidate using ``"sc"``, ``"acc"``, or ``"sc&acc"`` (the paper's)."""
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    metric = metric.lower()
+    if metric == "sc":
+        scores = np.asarray([c.silhouette for c in candidates])
+    elif metric == "acc":
+        scores = np.asarray([c.validation_accuracy for c in candidates])
+    elif metric in ("sc&acc", "sc_acc", "scacc"):
+        scores = combined_sc_acc(candidates)
+    else:
+        raise ValueError(f"unknown selection metric {metric!r}")
+    return candidates[int(scores.argmax())]
+
+
+def score_candidate(
+    name: str,
+    embeddings: np.ndarray,
+    cluster_labels: np.ndarray,
+    validation_accuracy: float,
+    eval_indices: np.ndarray | None = None,
+    seed: int = 0,
+) -> CandidateScore:
+    """Build a :class:`CandidateScore` from embeddings and validation accuracy.
+
+    ``eval_indices`` restricts the silhouette computation to the union of the
+    validation and test nodes (as the paper prescribes); by default all rows
+    are used.
+    """
+    if eval_indices is not None:
+        embeddings = embeddings[eval_indices]
+        cluster_labels = cluster_labels[eval_indices]
+    if np.unique(cluster_labels).shape[0] < 2:
+        sc = -1.0
+    else:
+        sc = silhouette_score(embeddings, cluster_labels, seed=seed)
+    return CandidateScore(name=name, silhouette=sc, validation_accuracy=validation_accuracy)
+
+
+def estimate_num_novel_classes(
+    embeddings: np.ndarray,
+    num_seen_classes: int,
+    max_novel: int = 10,
+    seed: int = 0,
+) -> int:
+    """Rough estimate of the number of novel classes (Section V-E).
+
+    Runs K-Means for each candidate total number of clusters
+    ``num_seen + k`` with ``k`` in [1, max_novel] over the given embeddings
+    and picks the candidate with the highest silhouette coefficient.
+    """
+    from ..clustering.kmeans import KMeans
+
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    best_k, best_score = 1, -np.inf
+    for k in range(1, max_novel + 1):
+        total = num_seen_classes + k
+        if total >= embeddings.shape[0]:
+            break
+        labels = KMeans(total, seed=seed, n_init=1).fit_predict(embeddings)
+        score = silhouette_score(embeddings, labels, seed=seed)
+        if score > best_score:
+            best_score, best_k = score, k
+    return best_k

@@ -1,0 +1,99 @@
+"""Variance imbalance and separation rates (Section III-B, Eq. 2-3).
+
+Given node representations, the *imbalance rate* of a (seen, novel) class pair
+is the ratio of the larger to the smaller intra-class standard deviation, and
+the *separation rate* is the distance between the class means divided by the
+sum of the standard deviations (the alpha of Definition 1).  The reported
+rates are averaged over all seen-novel class pairs — exactly the quantities in
+Figure 1b of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClassStatistics:
+    """Mean vector and scalar standard deviation of one class's embeddings."""
+
+    mean: np.ndarray
+    std: float
+    count: int
+
+
+def class_statistics(embeddings: np.ndarray, labels: np.ndarray) -> Dict[int, ClassStatistics]:
+    """Per-class mean and standard deviation of the given embeddings.
+
+    The standard deviation is the root mean squared distance of the class's
+    embeddings to the class mean (a scalar spread measure, matching the
+    paper's use of "std of the representations").
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    stats: Dict[int, ClassStatistics] = {}
+    for cls in np.unique(labels):
+        members = embeddings[labels == cls]
+        mean = members.mean(axis=0)
+        spread = float(np.sqrt(((members - mean) ** 2).sum(axis=1).mean()))
+        stats[int(cls)] = ClassStatistics(mean=mean, std=spread, count=members.shape[0])
+    return stats
+
+
+def pair_imbalance_rate(seen: ClassStatistics, novel: ClassStatistics) -> float:
+    """Eq. 2: max(std_seen, std_novel) / min(std_seen, std_novel)."""
+    low = min(seen.std, novel.std)
+    high = max(seen.std, novel.std)
+    if low <= 0:
+        return float("inf") if high > 0 else 1.0
+    return high / low
+
+
+def pair_separation_rate(seen: ClassStatistics, novel: ClassStatistics) -> float:
+    """Eq. 3: ||mean_seen - mean_novel||_2 / (std_seen + std_novel)."""
+    distance = float(np.linalg.norm(seen.mean - novel.mean))
+    denom = seen.std + novel.std
+    if denom <= 0:
+        return float("inf") if distance > 0 else 0.0
+    return distance / denom
+
+
+def variance_imbalance_report(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    seen_classes: np.ndarray,
+    novel_classes: np.ndarray,
+) -> Tuple[float, float]:
+    """Average imbalance and separation rates over all seen-novel pairs.
+
+    Returns ``(imbalance_rate, separation_rate)`` as in Figure 1b.
+    """
+    seen_classes = np.asarray(seen_classes, dtype=np.int64)
+    novel_classes = np.asarray(novel_classes, dtype=np.int64)
+    stats = class_statistics(embeddings, labels)
+    imbalance_values = []
+    separation_values = []
+    for seen_cls in seen_classes:
+        if int(seen_cls) not in stats:
+            continue
+        for novel_cls in novel_classes:
+            if int(novel_cls) not in stats:
+                continue
+            seen_stats = stats[int(seen_cls)]
+            novel_stats = stats[int(novel_cls)]
+            imbalance_values.append(pair_imbalance_rate(seen_stats, novel_stats))
+            separation_values.append(pair_separation_rate(seen_stats, novel_stats))
+    if not imbalance_values:
+        return float("nan"), float("nan")
+    return float(np.mean(imbalance_values)), float(np.mean(separation_values))
+
+
+def intra_class_variance(embeddings: np.ndarray, labels: np.ndarray,
+                         classes: np.ndarray) -> float:
+    """Mean intra-class standard deviation over the given classes."""
+    stats = class_statistics(embeddings, labels)
+    values = [stats[int(c)].std for c in np.asarray(classes) if int(c) in stats]
+    return float(np.mean(values)) if values else float("nan")

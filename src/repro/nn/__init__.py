@@ -1,0 +1,37 @@
+"""Minimal reverse-mode autodiff + neural network toolkit built on numpy.
+
+This subpackage is the substrate standing in for PyTorch: it provides the
+:class:`~repro.nn.tensor.Tensor` autodiff engine, module/layer abstractions,
+initializers, optimizers, and the differentiable functions required by the
+GNN encoders and contrastive objectives used throughout the repository.
+"""
+
+from . import functional
+from .init import glorot_normal, glorot_uniform, zeros_init
+from .layers import ELU, Dropout, Linear, Module, Parameter, ReLU, Sequential
+from .optim import SGD, Adam, Optimizer
+from .tensor import Tensor, cat, is_grad_enabled, no_grad, ones, stack, zeros
+
+__all__ = [
+    "Tensor",
+    "cat",
+    "stack",
+    "zeros",
+    "ones",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "ELU",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "glorot_uniform",
+    "glorot_normal",
+    "zeros_init",
+]

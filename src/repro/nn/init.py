@@ -1,0 +1,30 @@
+"""Weight initialization schemes for the neural network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, the PyG default for GAT/GCN."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    if len(shape) < 2:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in, fan_out = shape[-2], shape[-1]
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: tuple) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,34 @@
+"""Theoretical model of Section IV-A / VI and numerical verification of Theorem 1."""
+
+from .gaussian_mixture import TwoGaussianMixture, from_alpha_gamma
+from .kmeans_1d import (
+    expected_accuracies,
+    expected_cluster_centers,
+    h,
+    optimal_threshold,
+    simulate_kmeans_accuracy,
+)
+from .theorem1 import (
+    SweepPoint,
+    correlation,
+    sweep_alpha,
+    sweep_gamma,
+    verify_theorem1_point1,
+    verify_theorem1_point2,
+)
+
+__all__ = [
+    "TwoGaussianMixture",
+    "from_alpha_gamma",
+    "expected_cluster_centers",
+    "expected_accuracies",
+    "h",
+    "optimal_threshold",
+    "simulate_kmeans_accuracy",
+    "SweepPoint",
+    "sweep_gamma",
+    "sweep_alpha",
+    "correlation",
+    "verify_theorem1_point1",
+    "verify_theorem1_point2",
+]

@@ -1,0 +1,76 @@
+"""The paper's theoretical model: a uniform mixture of two spherical Gaussians.
+
+Section IV-A analyses K-Means clustering of N samples drawn from a uniform
+mixture of two spherical Gaussians — a "seen" class with standard deviation
+sigma_1 and a "novel" class with sigma_2 > sigma_1 — whose means are
+``alpha * (sigma_1 + sigma_2)`` apart (Definition 1: alpha-separation).  The
+variance imbalance rate is ``gamma = sigma_2 / sigma_1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+
+@dataclass(frozen=True)
+class TwoGaussianMixture:
+    """Parameters of the 1-D two-Gaussian mixture used in Theorem 1.
+
+    ``mu1 < mu2`` and ``sigma1 <= sigma2`` by convention (class 1 is the seen
+    class with smaller intra-class variance).
+    """
+
+    mu1: float
+    mu2: float
+    sigma1: float
+    sigma2: float
+
+    def __post_init__(self):
+        if self.sigma1 <= 0 or self.sigma2 <= 0:
+            raise ValueError("standard deviations must be positive")
+        if self.mu2 <= self.mu1:
+            raise ValueError("mu2 must exceed mu1")
+
+    @property
+    def alpha(self) -> float:
+        """Separation level of Definition 1."""
+        return (self.mu2 - self.mu1) / (self.sigma1 + self.sigma2)
+
+    @property
+    def gamma(self) -> float:
+        """Variance imbalance rate max(sigma)/min(sigma)."""
+        return max(self.sigma1, self.sigma2) / min(self.sigma1, self.sigma2)
+
+    def sample(self, num_samples: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Draw samples with equal class priors; returns (values, labels)."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=num_samples)
+        values = np.where(
+            labels == 0,
+            rng.normal(self.mu1, self.sigma1, size=num_samples),
+            rng.normal(self.mu2, self.sigma2, size=num_samples),
+        )
+        return values, labels
+
+    def density(self, x: np.ndarray) -> np.ndarray:
+        """Mixture probability density at ``x``."""
+        return 0.5 * norm.pdf(x, self.mu1, self.sigma1) + 0.5 * norm.pdf(x, self.mu2, self.sigma2)
+
+
+def from_alpha_gamma(alpha: float, gamma: float, sigma1: float = 1.0) -> TwoGaussianMixture:
+    """Construct a mixture with the requested separation and imbalance.
+
+    Class 1 gets standard deviation ``sigma1`` and class 2 gets
+    ``gamma * sigma1``; the means are ``alpha * (sigma1 + sigma2)`` apart with
+    ``mu1 = 0``.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if gamma < 1:
+        raise ValueError("gamma must be >= 1 (sigma2 >= sigma1)")
+    sigma2 = gamma * sigma1
+    mu2 = alpha * (sigma1 + sigma2)
+    return TwoGaussianMixture(mu1=0.0, mu2=mu2, sigma1=sigma1, sigma2=sigma2)

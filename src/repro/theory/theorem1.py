@@ -1,0 +1,127 @@
+"""Numerical verification of Theorem 1.
+
+Theorem 1 (Section IV-A) states, for an alpha-separated two-Gaussian mixture
+with imbalance rate ``1 < gamma < 2``:
+
+1. if ``1.5 < alpha < 3``: the novel-class accuracy ``ACC_2`` is positively
+   correlated with ``sigma_1`` (equivalently, *negatively* correlated with
+   the imbalance rate ``gamma``), and
+2. if ``alpha > 3``: both per-class accuracies exceed 0.95.
+
+The functions here sweep gamma (at fixed alpha) and alpha (at fixed gamma)
+with the closed-form analysis and/or the empirical K-Means simulation, and
+report correlation statistics that verify both claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .gaussian_mixture import from_alpha_gamma
+from .kmeans_1d import expected_accuracies, optimal_threshold, simulate_kmeans_accuracy
+
+
+@dataclass
+class SweepPoint:
+    """One (alpha, gamma) configuration and its predicted/observed accuracies."""
+
+    alpha: float
+    gamma: float
+    sigma1: float
+    threshold: float
+    acc1: float
+    acc2: float
+
+
+def sweep_gamma(alpha: float, gammas: Sequence[float], sigma2: float = 1.0,
+                empirical: bool = False, num_samples: int = 20_000,
+                seed: int = 0) -> list[SweepPoint]:
+    """Vary the imbalance rate at fixed separation.
+
+    ``sigma2`` (the novel class spread) is held fixed and ``sigma1 =
+    sigma2 / gamma`` shrinks as gamma grows — matching the paper's narrative
+    where supervised learning shrinks the seen class's variance.
+    """
+    points = []
+    for gamma in gammas:
+        sigma1 = sigma2 / gamma
+        mixture = from_alpha_gamma(alpha, gamma, sigma1=sigma1)
+        threshold = optimal_threshold(mixture)
+        if empirical:
+            acc1, acc2 = simulate_kmeans_accuracy(mixture, num_samples=num_samples, seed=seed)
+        else:
+            acc1, acc2 = expected_accuracies(mixture, threshold)
+        points.append(SweepPoint(alpha=alpha, gamma=gamma, sigma1=sigma1,
+                                 threshold=threshold, acc1=acc1, acc2=acc2))
+    return points
+
+
+def sweep_alpha(gamma: float, alphas: Sequence[float], sigma1: float = 1.0,
+                empirical: bool = False, num_samples: int = 20_000,
+                seed: int = 0) -> list[SweepPoint]:
+    """Vary the separation level at fixed imbalance rate."""
+    points = []
+    for alpha in alphas:
+        mixture = from_alpha_gamma(alpha, gamma, sigma1=sigma1)
+        threshold = optimal_threshold(mixture)
+        if empirical:
+            acc1, acc2 = simulate_kmeans_accuracy(mixture, num_samples=num_samples, seed=seed)
+        else:
+            acc1, acc2 = expected_accuracies(mixture, threshold)
+        points.append(SweepPoint(alpha=alpha, gamma=gamma, sigma1=sigma1,
+                                 threshold=threshold, acc1=acc1, acc2=acc2))
+    return points
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (nan for constant inputs)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.std() == 0 or ys.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+def verify_theorem1_point1(alpha: float = 2.0, gammas: Sequence[float] | None = None,
+                           empirical: bool = False, seed: int = 0) -> dict:
+    """Check claim (1): ACC_2 is positively correlated with sigma_1.
+
+    Returns a report with the Pearson correlations of ACC_2 vs sigma_1 and
+    ACC_2 vs gamma across the sweep.
+    """
+    if not 1.5 < alpha < 3:
+        raise ValueError("claim (1) applies to 1.5 < alpha < 3")
+    gammas = gammas if gammas is not None else np.linspace(1.05, 1.95, 10)
+    points = sweep_gamma(alpha, gammas, empirical=empirical, seed=seed)
+    corr_sigma1 = correlation([p.sigma1 for p in points], [p.acc2 for p in points])
+    corr_gamma = correlation([p.gamma for p in points], [p.acc2 for p in points])
+    return {
+        "alpha": alpha,
+        "points": points,
+        "corr_acc2_sigma1": corr_sigma1,
+        "corr_acc2_gamma": corr_gamma,
+        "holds": corr_sigma1 > 0 and corr_gamma < 0,
+    }
+
+
+def verify_theorem1_point2(gamma: float = 1.5, alphas: Sequence[float] | None = None,
+                           empirical: bool = False, seed: int = 0) -> dict:
+    """Check claim (2): for alpha > 3 both accuracies exceed 0.95."""
+    if not 1 < gamma < 2:
+        raise ValueError("the theorem assumes 1 < gamma < 2")
+    alphas = alphas if alphas is not None else [3.1, 3.5, 4.0, 5.0]
+    if min(alphas) <= 3:
+        raise ValueError("claim (2) applies to alpha > 3")
+    points = sweep_alpha(gamma, alphas, empirical=empirical, seed=seed)
+    min_acc1 = min(p.acc1 for p in points)
+    min_acc2 = min(p.acc2 for p in points)
+    return {
+        "gamma": gamma,
+        "points": points,
+        "min_acc1": min_acc1,
+        "min_acc2": min_acc2,
+        "holds": min_acc1 > 0.95 and min_acc2 > 0.95,
+    }

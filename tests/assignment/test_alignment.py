@@ -1,0 +1,121 @@
+"""Tests for cluster-class alignment and clustering accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.alignment import (
+    align_clusters_to_classes,
+    clustering_accuracy,
+    contingency_matrix,
+    hungarian_accuracy_mapping,
+)
+
+
+class TestContingency:
+    def test_counts(self):
+        clusters = np.array([0, 0, 1, 1, 2])
+        classes = np.array([1, 1, 0, 1, 0])
+        matrix = contingency_matrix(clusters, classes)
+        assert matrix.shape == (3, 2)
+        assert matrix[0, 1] == 2
+        assert matrix[1, 0] == 1
+        assert matrix.sum() == 5
+
+    def test_explicit_sizes(self):
+        matrix = contingency_matrix(np.array([0]), np.array([0]), num_clusters=4, num_classes=3)
+        assert matrix.shape == (4, 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            contingency_matrix(np.array([0, 1]), np.array([0]))
+
+
+class TestAlignment:
+    def test_perfect_alignment(self):
+        # Clusters 0,1,2 correspond exactly to classes 10,20,30.
+        clusters = np.array([0, 0, 1, 1, 2, 2])
+        classes = np.array([10, 10, 20, 20, 30, 30])
+        alignment = align_clusters_to_classes(
+            clusters, classes, num_clusters=3, known_classes=np.array([10, 20, 30])
+        )
+        assert alignment.mapping[0] == 10
+        assert alignment.mapping[1] == 20
+        assert alignment.mapping[2] == 30
+        assert alignment.unmatched_clusters.size == 0
+
+    def test_unmatched_clusters_get_novel_ids(self):
+        clusters = np.array([0, 0, 1, 1])
+        classes = np.array([5, 5, 7, 7])
+        alignment = align_clusters_to_classes(
+            clusters, classes, num_clusters=4, known_classes=np.array([5, 7]),
+            total_num_classes=2,
+        )
+        assert set(alignment.unmatched_clusters.tolist()) == {2, 3}
+        novel_ids = {alignment.mapping[2], alignment.mapping[3]}
+        assert novel_ids == {2, 3}
+
+    def test_apply_translates_labels(self):
+        clusters = np.array([0, 1, 0, 2])
+        classes = np.array([3, 4, 3, 3])
+        alignment = align_clusters_to_classes(
+            clusters[: 3], classes[: 3], num_clusters=3, known_classes=np.array([3, 4])
+        )
+        predictions = alignment.apply(clusters)
+        assert predictions[0] == 3
+        assert predictions[1] == 4
+        # Cluster 2 was never seen in the labeled data -> novel id.
+        assert predictions[3] not in (3, 4)
+
+    def test_permuted_clusters_still_align(self):
+        rng = np.random.default_rng(0)
+        classes = rng.integers(0, 3, size=60)
+        permutation = np.array([2, 0, 1])
+        clusters = permutation[classes]
+        alignment = align_clusters_to_classes(
+            clusters, classes, num_clusters=3, known_classes=np.array([0, 1, 2])
+        )
+        recovered = alignment.apply(clusters)
+        np.testing.assert_array_equal(recovered, classes)
+
+
+class TestClusteringAccuracy:
+    def test_perfect_after_permutation(self):
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 4, size=100)
+        permutation = np.array([3, 2, 0, 1])
+        predictions = permutation[targets]
+        assert clustering_accuracy(predictions, targets) == pytest.approx(1.0)
+
+    def test_random_predictions_score_low(self):
+        rng = np.random.default_rng(2)
+        targets = rng.integers(0, 5, size=500)
+        predictions = rng.integers(0, 5, size=500)
+        assert clustering_accuracy(predictions, targets) < 0.5
+
+    def test_mapping_is_injective(self):
+        predictions = np.array([0, 0, 1, 1, 2, 2])
+        targets = np.array([1, 1, 0, 0, 2, 2])
+        mapping = hungarian_accuracy_mapping(predictions, targets)
+        assert len(set(mapping.values())) == len(mapping)
+        assert mapping[0] == 1 and mapping[1] == 0 and mapping[2] == 2
+
+    def test_more_predicted_ids_than_targets(self):
+        predictions = np.array([0, 1, 2, 3])
+        targets = np.array([0, 0, 1, 1])
+        accuracy = clustering_accuracy(predictions, targets)
+        assert 0.0 <= accuracy <= 1.0
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_property_accuracy_bounds_and_permutation_invariance(self, num_classes, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, num_classes, size=50)
+        predictions = rng.integers(0, num_classes, size=50)
+        accuracy = clustering_accuracy(predictions, targets)
+        assert 0.0 <= accuracy <= 1.0
+        permutation = rng.permutation(num_classes)
+        assert clustering_accuracy(permutation[predictions], targets) == pytest.approx(accuracy)

@@ -1,0 +1,96 @@
+"""Tests for the Hungarian algorithm, including comparison with scipy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.assignment.hungarian import hungarian, max_profit_assignment
+
+
+class TestKnownCases:
+    def test_identity_cost(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        rows, cols = hungarian(cost)
+        assert cost[rows, cols].sum() == 0.0
+
+    def test_classic_example(self):
+        cost = np.array([
+            [4.0, 1.0, 3.0],
+            [2.0, 0.0, 5.0],
+            [3.0, 2.0, 2.0],
+        ])
+        rows, cols = hungarian(cost)
+        assert cost[rows, cols].sum() == pytest.approx(5.0)
+
+    def test_rectangular_wide(self):
+        cost = np.array([[1.0, 2.0, 0.0], [2.0, 0.0, 5.0]])
+        rows, cols = hungarian(cost)
+        assert len(rows) == 2
+        assert cost[rows, cols].sum() == pytest.approx(0.0)
+
+    def test_rectangular_tall(self):
+        cost = np.array([[1.0, 2.0], [2.0, 0.0], [0.0, 5.0]])
+        rows, cols = hungarian(cost)
+        assert len(rows) == 2
+        assert cost[rows, cols].sum() == pytest.approx(0.0)
+
+    def test_single_element(self):
+        rows, cols = hungarian(np.array([[7.0]]))
+        assert rows.tolist() == [0] and cols.tolist() == [0]
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            hungarian(np.zeros(3))
+
+    def test_assignment_is_a_matching(self):
+        rng = np.random.default_rng(0)
+        cost = rng.random((6, 6))
+        rows, cols = hungarian(cost)
+        assert len(set(rows.tolist())) == 6
+        assert len(set(cols.tolist())) == 6
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_square_matrices_match_scipy_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        size = rng.integers(2, 12)
+        cost = rng.random((size, size)) * 10
+        rows, cols = hungarian(cost)
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(cost[ref_rows, ref_cols].sum(), abs=1e-8)
+
+    @pytest.mark.parametrize("shape", [(3, 7), (7, 3), (1, 5), (5, 1)])
+    def test_rectangular_matrices_match_scipy_cost(self, shape):
+        rng = np.random.default_rng(shape[0] * 10 + shape[1])
+        cost = rng.random(shape) * 5
+        rows, cols = hungarian(cost)
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(cost[ref_rows, ref_cols].sum(), abs=1e-8)
+
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_optimal_cost_matches_scipy(self, size, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 20, size=(size, size)).astype(float)
+        rows, cols = hungarian(cost)
+        ref_rows, ref_cols = linear_sum_assignment(cost)
+        assert cost[rows, cols].sum() == pytest.approx(cost[ref_rows, ref_cols].sum(), abs=1e-8)
+
+
+class TestMaxProfit:
+    def test_maximizes_profit(self):
+        profit = np.array([[10.0, 1.0], [1.0, 10.0]])
+        rows, cols = max_profit_assignment(profit)
+        assert profit[rows, cols].sum() == pytest.approx(20.0)
+
+    def test_matches_scipy_maximize(self):
+        rng = np.random.default_rng(5)
+        profit = rng.random((7, 7))
+        rows, cols = max_profit_assignment(profit)
+        ref_rows, ref_cols = linear_sum_assignment(profit, maximize=True)
+        assert profit[rows, cols].sum() == pytest.approx(profit[ref_rows, ref_cols].sum(), abs=1e-8)

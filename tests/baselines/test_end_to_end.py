@@ -1,0 +1,134 @@
+"""Tests for the end-to-end open-world SSL baselines (ORCA, SimGCD, OpenLDN, OpenCon)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.opencon import OpenConTrainer, OpenConTwoStageTrainer
+from repro.baselines.openldn import OpenLDNTrainer
+from repro.baselines.orca import ORCATrainer, ORCAZMTrainer
+from repro.baselines.simgcd import SimGCDTrainer
+from repro.core.config import fast_config
+
+
+@pytest.fixture()
+def config():
+    return fast_config(max_epochs=2, encoder_kind="gcn", batch_size=128)
+
+
+ALL_END_TO_END = [ORCATrainer, ORCAZMTrainer, SimGCDTrainer, OpenLDNTrainer, OpenConTrainer]
+
+
+class TestTrainingLoop:
+    @pytest.mark.parametrize("trainer_cls", ALL_END_TO_END)
+    def test_trains_with_finite_losses(self, small_dataset, config, trainer_cls):
+        trainer = trainer_cls(small_dataset, config)
+        history = trainer.fit()
+        assert len(history.losses) == config.max_epochs
+        assert np.isfinite(history.losses).all()
+
+    @pytest.mark.parametrize("trainer_cls", ALL_END_TO_END)
+    def test_predictions_cover_graph_and_accuracy_valid(self, small_dataset, config, trainer_cls):
+        trainer = trainer_cls(small_dataset, config)
+        trainer.fit()
+        result = trainer.predict()
+        assert result.predictions.shape[0] == small_dataset.graph.num_nodes
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    @pytest.mark.parametrize("trainer_cls", ALL_END_TO_END)
+    def test_head_is_trained(self, small_dataset, config, trainer_cls):
+        trainer = trainer_cls(small_dataset, config)
+        before = trainer.head.linear.weight.data.copy()
+        trainer.fit()
+        assert not np.allclose(before, trainer.head.linear.weight.data)
+
+
+class TestORCA:
+    def test_margin_uses_uncertainty(self, small_dataset, config):
+        trainer = ORCATrainer(small_dataset, config)
+        trainer.on_epoch_start(0)
+        assert 0.0 <= trainer._current_uncertainty <= 1.0
+
+    def test_zero_margin_variant(self, small_dataset, config):
+        trainer = ORCAZMTrainer(small_dataset, config)
+        trainer.on_epoch_start(0)
+        assert trainer._current_uncertainty == 0.0
+        assert trainer.method_name == "ORCA-ZM"
+
+    def test_margin_changes_loss(self, small_dataset, config):
+        orca = ORCATrainer(small_dataset, config)
+        orca_zm = ORCAZMTrainer(small_dataset, config)
+        batch = np.concatenate([
+            small_dataset.split.train_nodes[:8], small_dataset.split.test_nodes[:8]
+        ])
+        for trainer in (orca, orca_zm):
+            trainer.encoder.eval()
+            trainer.on_epoch_start(0)
+        view_a = orca.encoder(small_dataset.graph).gather_rows(batch)
+        loss_margin = orca.compute_loss(view_a, view_a, batch).item()
+        view_b = orca_zm.encoder(small_dataset.graph).gather_rows(batch)
+        loss_plain = orca_zm.compute_loss(view_b, view_b, batch).item()
+        # The margin makes the supervised term harder, so the loss is larger
+        # (both models start from the same seed / initial weights).
+        assert loss_margin >= loss_plain
+
+
+class TestOpenCon:
+    def test_prototypes_initialized_on_epoch_start(self, small_dataset, config):
+        trainer = OpenConTrainer(small_dataset, config)
+        assert not trainer._prototypes_initialized
+        trainer.on_epoch_start(0)
+        assert trainer._prototypes_initialized
+        assert trainer.prototypes.shape == (
+            trainer.label_space.num_total, config.encoder.out_dim
+        )
+
+    def test_prototype_pseudo_labels_in_range(self, small_dataset, config):
+        trainer = OpenConTrainer(small_dataset, config)
+        trainer.on_epoch_start(0)
+        pseudo = trainer._prototype_pseudo_labels(trainer.node_embeddings())
+        assert pseudo.min() >= 0
+        assert pseudo.max() < trainer.label_space.num_total
+
+    def test_two_stage_variant_uses_kmeans_prediction(self, small_dataset, config):
+        end_to_end = OpenConTrainer(small_dataset, config)
+        two_stage = OpenConTwoStageTrainer(small_dataset, config)
+        assert two_stage.method_name == "OpenCon-TwoStage"
+        end_to_end.fit()
+        two_stage.fit()
+        # Both produce valid predictions; the two-stage path clusters instead
+        # of using the head.
+        result = two_stage.predict()
+        assert result.predictions.shape[0] == small_dataset.graph.num_nodes
+
+
+class TestSimGCDAndOpenLDN:
+    def test_simgcd_entropy_weight_influences_loss(self, small_dataset, config):
+        low = SimGCDTrainer(small_dataset, config, entropy_weight=0.0)
+        high = SimGCDTrainer(small_dataset, config, entropy_weight=5.0)
+        batch = small_dataset.split.train_nodes[:10]
+        for trainer in (low, high):
+            trainer.encoder.eval()
+        view_low = low.encoder(small_dataset.graph).gather_rows(batch)
+        view_high = high.encoder(small_dataset.graph).gather_rows(batch)
+        assert low.compute_loss(view_low, view_low, batch).item() != pytest.approx(
+            high.compute_loss(view_high, view_high, batch).item()
+        )
+
+    def test_openldn_confidence_threshold_extremes(self, small_dataset, config):
+        strict = OpenLDNTrainer(small_dataset, config, confidence_threshold=1.01)
+        lenient = OpenLDNTrainer(small_dataset, config, confidence_threshold=0.0)
+        batch = np.concatenate([
+            small_dataset.split.train_nodes[:8], small_dataset.split.test_nodes[:8]
+        ])
+        for trainer in (strict, lenient):
+            trainer.encoder.eval()
+        view_s = strict.encoder(small_dataset.graph).gather_rows(batch)
+        view_l = lenient.encoder(small_dataset.graph).gather_rows(batch)
+        loss_strict = strict.compute_loss(view_s, view_s, batch).item()
+        loss_lenient = lenient.compute_loss(view_l, view_l, batch).item()
+        # With an unreachable threshold no pseudo-label CE is added.
+        assert np.isfinite(loss_strict) and np.isfinite(loss_lenient)
+        assert loss_lenient >= loss_strict

@@ -1,0 +1,58 @@
+"""Tests for the baseline registry/factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    available_baselines,
+    build_baseline,
+)
+from repro.core.trainer import GraphTrainer
+
+
+PAPER_TABLE3_BASELINES = [
+    "oodgat",
+    "openwgl",
+    "orca-zm",
+    "orca",
+    "simgcd",
+    "openldn",
+    "opencon",
+    "opencon-two-stage",
+    "infonce",
+    "infonce+supcon",
+    "infonce+supcon+ce",
+]
+
+
+class TestRegistry:
+    def test_all_table3_baselines_available(self):
+        for name in PAPER_TABLE3_BASELINES:
+            assert name in BASELINE_REGISTRY
+
+    def test_available_baselines_sorted(self):
+        names = available_baselines()
+        assert names == sorted(names)
+
+    def test_build_baseline_case_insensitive(self, small_dataset, tiny_trainer_config):
+        trainer = build_baseline("ORCA", small_dataset, tiny_trainer_config)
+        assert isinstance(trainer, GraphTrainer)
+        assert trainer.method_name == "ORCA"
+
+    def test_unknown_baseline_raises(self, small_dataset, tiny_trainer_config):
+        with pytest.raises(KeyError, match="available"):
+            build_baseline("gcd", small_dataset, tiny_trainer_config)
+
+    def test_num_novel_override_propagates(self, small_dataset, tiny_trainer_config):
+        trainer = build_baseline("infonce", small_dataset, tiny_trainer_config,
+                                 num_novel_classes=7)
+        assert trainer.label_space.num_novel == 7
+
+    def test_method_names_are_distinct(self, small_dataset, tiny_trainer_config):
+        names = set()
+        for key in PAPER_TABLE3_BASELINES:
+            trainer = build_baseline(key, small_dataset, tiny_trainer_config)
+            names.add(trainer.method_name)
+        assert len(names) == len(PAPER_TABLE3_BASELINES)

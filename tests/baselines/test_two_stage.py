@@ -1,0 +1,66 @@
+"""Tests for the two-stage contrastive baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.two_stage import (
+    InfoNCESupConCETrainer,
+    InfoNCESupConTrainer,
+    InfoNCETrainer,
+)
+from repro.core.config import fast_config
+
+
+@pytest.fixture()
+def config():
+    return fast_config(max_epochs=2, encoder_kind="gcn", batch_size=128)
+
+
+class TestGroupIds:
+    def test_infonce_ignores_labels(self, small_dataset, config):
+        trainer = InfoNCETrainer(small_dataset, config)
+        batch = small_dataset.split.train_nodes[:6]
+        group_ids = trainer._group_ids(batch)
+        assert (group_ids == -1).all()
+
+    def test_supcon_uses_labels(self, small_dataset, config):
+        trainer = InfoNCESupConTrainer(small_dataset, config)
+        batch = np.concatenate([
+            small_dataset.split.train_nodes[:6], small_dataset.split.test_nodes[:6]
+        ])
+        group_ids = trainer._group_ids(batch)
+        assert (group_ids[:6] >= 0).all()
+        assert (group_ids[6:12] == -1).all()
+
+
+class TestTraining:
+    @pytest.mark.parametrize("trainer_cls", [InfoNCETrainer, InfoNCESupConTrainer,
+                                             InfoNCESupConCETrainer])
+    def test_each_variant_trains_and_evaluates(self, small_dataset, config, trainer_cls):
+        trainer = trainer_cls(small_dataset, config)
+        history = trainer.fit()
+        assert np.isfinite(history.losses).all()
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    def test_method_names(self, small_dataset, config):
+        assert InfoNCETrainer(small_dataset, config).method_name == "InfoNCE"
+        assert InfoNCESupConTrainer(small_dataset, config).method_name == "InfoNCE+SupCon"
+        assert InfoNCESupConCETrainer(
+            small_dataset, config
+        ).method_name == "InfoNCE+SupCon+CE"
+
+    def test_ce_variant_trains_the_head(self, small_dataset, config):
+        trainer = InfoNCESupConCETrainer(small_dataset, config)
+        before = trainer.head.linear.weight.data.copy()
+        trainer.fit()
+        assert not np.allclose(before, trainer.head.linear.weight.data)
+
+    def test_infonce_does_not_touch_the_head(self, small_dataset, config):
+        trainer = InfoNCETrainer(small_dataset, config)
+        before = trainer.head.linear.weight.data.copy()
+        trainer.fit()
+        # Only weight decay could change it, which Adam skips without grads.
+        np.testing.assert_allclose(before, trainer.head.linear.weight.data)

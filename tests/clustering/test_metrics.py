@@ -1,0 +1,90 @@
+"""Tests for silhouette coefficient and clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.metrics import (
+    inertia,
+    pairwise_distances,
+    silhouette_samples,
+    silhouette_score,
+)
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        data = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(data)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[0, 0] == pytest.approx(0.0)
+        np.testing.assert_allclose(distances, distances.T)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_near_one(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack([
+            rng.normal([0, 0], 0.1, size=(30, 2)),
+            rng.normal([20, 20], 0.1, size=(30, 2)),
+        ])
+        labels = np.array([0] * 30 + [1] * 30)
+        assert silhouette_score(data, labels) > 0.95
+
+    def test_random_labels_score_near_zero_or_negative(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(80, 3))
+        labels = rng.integers(0, 2, size=80)
+        assert silhouette_score(data, labels) < 0.2
+
+    def test_wrong_assignment_is_negative(self):
+        rng = np.random.default_rng(2)
+        left = rng.normal([0, 0], 0.1, size=(20, 2))
+        right = rng.normal([10, 0], 0.1, size=(20, 2))
+        data = np.vstack([left, right])
+        # Deliberately split each true blob across both labels.
+        labels = np.array(([0, 1] * 10) + ([0, 1] * 10))
+        assert silhouette_score(data, labels) < 0.0
+
+    def test_per_sample_values_bounded(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 3, size=40)
+        if len(np.unique(labels)) < 2:
+            labels[0] = (labels[0] + 1) % 3
+        values = silhouette_samples(data, labels)
+        assert values.shape == (40,)
+        assert (values <= 1.0).all() and (values >= -1.0).all()
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_singleton_cluster_gets_zero(self):
+        data = np.array([[0.0, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = np.array([0, 1, 1])
+        values = silhouette_samples(data, labels)
+        assert values[0] == 0.0
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(4)
+        data = np.vstack([
+            rng.normal([0, 0], 0.2, size=(300, 2)),
+            rng.normal([15, 15], 0.2, size=(300, 2)),
+        ])
+        labels = np.array([0] * 300 + [1] * 300)
+        score = silhouette_score(data, labels, sample_size=100, seed=0)
+        assert score > 0.9
+
+
+class TestInertia:
+    def test_inertia_value(self):
+        data = np.array([[0.0], [2.0], [10.0]])
+        centers = np.array([[1.0], [10.0]])
+        labels = np.array([0, 0, 1])
+        assert inertia(data, labels, centers) == pytest.approx(2.0)

@@ -1,0 +1,69 @@
+"""Tests for the semi-supervised (constrained) K-Means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.semi_kmeans import SemiSupervisedKMeans
+
+
+def blobs_with_labels(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0], [8.0, -8.0]])
+    data, labels = [], []
+    for idx, center in enumerate(centers):
+        data.append(rng.normal(center, 0.6, size=(40, 2)))
+        labels.extend([idx] * 40)
+    return np.vstack(data), np.asarray(labels)
+
+
+class TestSemiSupervisedKMeans:
+    def test_labeled_samples_pinned_to_their_cluster(self):
+        data, labels = blobs_with_labels()
+        labeled_indices = np.concatenate([np.where(labels == 0)[0][:10],
+                                          np.where(labels == 1)[0][:10]])
+        labeled_classes = labels[labeled_indices]
+        result = SemiSupervisedKMeans(4, seed=0).fit(
+            data, labeled_indices, labeled_classes, seen_classes=np.array([0, 1])
+        )
+        # Class 0 labeled points -> cluster 0, class 1 labeled points -> cluster 1.
+        np.testing.assert_array_equal(result.labels[labeled_indices[:10]], 0)
+        np.testing.assert_array_equal(result.labels[labeled_indices[10:]], 1)
+
+    def test_unlabeled_blobs_use_remaining_clusters(self):
+        data, labels = blobs_with_labels()
+        labeled_indices = np.where(labels == 0)[0][:15]
+        result = SemiSupervisedKMeans(4, seed=0).fit(
+            data, labeled_indices, labels[labeled_indices], seen_classes=np.array([0])
+        )
+        # The pinned labeled nodes stay in cluster 0, and the three unlabeled
+        # blobs spread over at least two distinct clusters.
+        np.testing.assert_array_equal(result.labels[labeled_indices], 0)
+        dominants = {
+            int(np.bincount(result.labels[labels == cls], minlength=4).argmax())
+            for cls in (1, 2, 3)
+        }
+        assert len(dominants) >= 2
+        assert any(cluster != 0 for cluster in dominants)
+
+    def test_mismatched_label_arrays_raise(self):
+        data, labels = blobs_with_labels()
+        with pytest.raises(ValueError):
+            SemiSupervisedKMeans(4).fit(data, np.array([0, 1]), np.array([0]))
+
+    def test_more_seen_classes_than_clusters_raises(self):
+        data, labels = blobs_with_labels()
+        with pytest.raises(ValueError):
+            SemiSupervisedKMeans(2).fit(
+                data, np.arange(10), labels[:10], seen_classes=np.array([0, 1, 2])
+            )
+
+    def test_result_has_valid_inertia(self):
+        data, labels = blobs_with_labels()
+        labeled_indices = np.where(labels == 0)[0][:10]
+        result = SemiSupervisedKMeans(4, seed=0).fit(
+            data, labeled_indices, labels[labeled_indices], seen_classes=np.array([0])
+        )
+        assert result.inertia > 0
+        assert np.isfinite(result.centers).all()

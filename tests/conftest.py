@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite: small graphs, datasets, and configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import OpenIMAConfig, fast_config
+from repro.datasets.splits import OpenWorldDataset, make_open_world_split
+from repro.graphs.generators import SBMConfig, generate_sbm_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A tiny but well-structured SBM graph (4 classes, strong homophily)."""
+    config = SBMConfig(
+        num_nodes=160,
+        num_classes=4,
+        avg_degree=8.0,
+        homophily=0.9,
+        feature_dim=16,
+        feature_sparsity=0.0,
+        feature_noise=0.3,
+    )
+    return generate_sbm_graph(config, seed=7, name="test-sbm")
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_graph):
+    """Open-world dataset over ``small_graph`` (2 seen, 2 novel classes)."""
+    split = make_open_world_split(small_graph, seen_fraction=0.5, labels_per_class=10, seed=7)
+    return OpenWorldDataset(graph=small_graph, split=split, name="test-sbm")
+
+
+@pytest.fixture()
+def tiny_trainer_config():
+    """A 2-epoch GCN configuration for fast training tests."""
+    return fast_config(max_epochs=2, seed=0, encoder_kind="gcn", batch_size=128)
+
+
+@pytest.fixture()
+def tiny_openima_config(tiny_trainer_config):
+    return OpenIMAConfig(trainer=tiny_trainer_config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,109 @@
+"""End-to-end integration and failure-injection tests for the OpenIMA pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import OpenIMAConfig, fast_config
+from repro.core.openima import OpenIMATrainer
+from repro.datasets.splits import OpenWorldDataset, make_open_world_split
+from repro.graphs.generators import SBMConfig, generate_sbm_graph
+
+
+def build_dataset(num_nodes=140, num_classes=4, avg_degree=8.0, seed=3, labels_per_class=8):
+    graph = generate_sbm_graph(
+        SBMConfig(num_nodes=num_nodes, num_classes=num_classes, avg_degree=avg_degree,
+                  feature_dim=16, feature_sparsity=0.0, feature_noise=0.4),
+        seed=seed,
+    )
+    split = make_open_world_split(graph, labels_per_class=labels_per_class, seed=seed)
+    return OpenWorldDataset(graph=graph, split=split, name="integration")
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_predictions(self):
+        dataset = build_dataset()
+        config = OpenIMAConfig(trainer=fast_config(max_epochs=2, encoder_kind="gcn",
+                                                   batch_size=140))
+        predictions = []
+        for _ in range(2):
+            trainer = OpenIMATrainer(dataset, config)
+            trainer.fit()
+            predictions.append(trainer.predict().predictions)
+        np.testing.assert_array_equal(predictions[0], predictions[1])
+
+    def test_different_seeds_give_different_models(self):
+        dataset = build_dataset()
+        embeddings = []
+        for seed in (0, 1):
+            config = OpenIMAConfig(
+                trainer=fast_config(max_epochs=2, seed=seed, encoder_kind="gcn", batch_size=140)
+            )
+            trainer = OpenIMATrainer(dataset, config)
+            trainer.fit()
+            embeddings.append(trainer.node_embeddings())
+        assert not np.allclose(embeddings[0], embeddings[1])
+
+
+class TestModelPersistence:
+    def test_encoder_state_dict_roundtrip_preserves_embeddings(self):
+        dataset = build_dataset()
+        config = OpenIMAConfig(trainer=fast_config(max_epochs=2, encoder_kind="gcn",
+                                                   batch_size=140))
+        trained = OpenIMATrainer(dataset, config)
+        trained.fit()
+        reference = trained.node_embeddings()
+
+        fresh = OpenIMATrainer(dataset, config)
+        fresh.encoder.load_state_dict(trained.encoder.state_dict())
+        fresh.head.load_state_dict(trained.head.state_dict())
+        np.testing.assert_allclose(fresh.node_embeddings(), reference)
+
+
+class TestFailureInjection:
+    def test_single_novel_class(self):
+        dataset = build_dataset(num_classes=4)
+        # Force only one novel class by fixing three seen classes.
+        split = make_open_world_split(
+            dataset.graph, labels_per_class=8, seed=0, seen_classes=np.array([0, 1, 2])
+        )
+        dataset = OpenWorldDataset(graph=dataset.graph, split=split, name="one-novel")
+        config = OpenIMAConfig(trainer=fast_config(max_epochs=1, encoder_kind="gcn",
+                                                   batch_size=140))
+        trainer = OpenIMATrainer(dataset, config)
+        trainer.fit()
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    def test_extremely_sparse_graph(self):
+        dataset = build_dataset(avg_degree=1.0)
+        config = OpenIMAConfig(trainer=fast_config(max_epochs=1, encoder_kind="gcn",
+                                                   batch_size=140))
+        trainer = OpenIMATrainer(dataset, config)
+        history = trainer.fit()
+        assert np.isfinite(history.losses).all()
+
+    def test_tiny_label_budget(self):
+        dataset = build_dataset(labels_per_class=2)
+        config = OpenIMAConfig(trainer=fast_config(max_epochs=1, encoder_kind="gcn",
+                                                   batch_size=140))
+        trainer = OpenIMATrainer(dataset, config)
+        trainer.fit()
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    def test_overridden_novel_count_larger_than_truth(self):
+        dataset = build_dataset()
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn", batch_size=140),
+            num_novel_classes=5,
+        )
+        trainer = OpenIMATrainer(dataset, config)
+        trainer.fit()
+        result = trainer.predict()
+        # The head and clustering operate over num_seen + 5 classes.
+        assert trainer.label_space.num_novel == 5
+        assert result.cluster_result.centers.shape[0] == trainer.label_space.num_total
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0

@@ -1,0 +1,63 @@
+"""Tests for the internal label space mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import LabelSpace
+
+
+class TestLabelSpace:
+    def test_counts(self):
+        space = LabelSpace(seen_classes=np.array([3, 7, 1]), num_novel=2)
+        assert space.num_seen == 3
+        assert space.num_novel == 2
+        assert space.num_total == 5
+        np.testing.assert_array_equal(space.seen_classes, [1, 3, 7])
+
+    def test_to_internal(self):
+        space = LabelSpace(seen_classes=np.array([5, 2]), num_novel=1)
+        internal = space.to_internal(np.array([2, 5, 2]))
+        np.testing.assert_array_equal(internal, [0, 1, 0])
+
+    def test_to_internal_unknown_class_raises(self):
+        space = LabelSpace(seen_classes=np.array([0, 1]), num_novel=1)
+        with pytest.raises(KeyError):
+            space.to_internal(np.array([0, 9]))
+
+    def test_to_original_roundtrip_for_seen(self):
+        space = LabelSpace(seen_classes=np.array([4, 8, 2]), num_novel=3)
+        original = np.array([2, 4, 8, 8, 2])
+        recovered = space.to_original(space.to_internal(original))
+        np.testing.assert_array_equal(recovered, original)
+
+    def test_to_original_novel_ids_are_distinct_from_seen(self):
+        space = LabelSpace(seen_classes=np.array([0, 3]), num_novel=2)
+        internal = np.array([0, 1, 2, 3])
+        original = space.to_original(internal)
+        assert original[0] == 0 and original[1] == 3
+        assert original[2] not in (0, 3) and original[3] not in (0, 3)
+        assert original[2] != original[3]
+
+    def test_to_original_custom_offset(self):
+        space = LabelSpace(seen_classes=np.array([0, 1]), num_novel=2)
+        original = space.to_original(np.array([2, 3]), novel_offset=100)
+        np.testing.assert_array_equal(original, [100, 101])
+
+    def test_is_seen_internal(self):
+        space = LabelSpace(seen_classes=np.array([0, 1, 2]), num_novel=2)
+        mask = space.is_seen_internal(np.array([0, 2, 3, 4]))
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, num_seen, num_novel, seed):
+        rng = np.random.default_rng(seed)
+        seen = rng.choice(np.arange(20), size=num_seen, replace=False)
+        space = LabelSpace(seen_classes=seen, num_novel=num_novel)
+        labels = rng.choice(seen, size=12)
+        np.testing.assert_array_equal(space.to_original(space.to_internal(labels)), labels)

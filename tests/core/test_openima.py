@@ -1,0 +1,167 @@
+"""Tests for the OpenIMA trainer (losses, pseudo labels, inference, ablations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import OpenIMAConfig, fast_config
+from repro.core.openima import OpenIMATrainer, train_openima
+
+
+@pytest.fixture()
+def quick_config():
+    return OpenIMAConfig(trainer=fast_config(max_epochs=2, encoder_kind="gcn", batch_size=128))
+
+
+class TestOpenIMATrainer:
+    def test_fit_and_evaluate(self, small_dataset, quick_config):
+        trainer = OpenIMATrainer(small_dataset, quick_config)
+        history = trainer.fit()
+        assert len(history.losses) == 2
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    def test_train_openima_helper(self, small_dataset, quick_config):
+        trainer = train_openima(small_dataset, quick_config)
+        assert trainer.history.final_loss is not None
+
+    def test_pseudo_labels_refreshed(self, small_dataset, quick_config):
+        trainer = OpenIMATrainer(small_dataset, quick_config)
+        assert trainer.pseudo_labels is None
+        trainer.fit()
+        assert trainer.pseudo_labels is not None
+        assert trainer.pseudo_labels.num_selected > 0
+
+    def test_pseudo_labels_disabled(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn", batch_size=128),
+            use_pseudo_labels=False,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        trainer.fit()
+        assert trainer.pseudo_labels is None
+        # Without pseudo labels every unlabeled node keeps group id -1.
+        group_ids = trainer.batch_group_ids(small_dataset.split.test_nodes[:8])
+        assert (group_ids == -1).all()
+
+    def test_group_ids_combine_manual_and_pseudo(self, small_dataset, quick_config):
+        trainer = OpenIMATrainer(small_dataset, quick_config)
+        trainer.refresh_pseudo_labels()
+        batch = np.concatenate([
+            small_dataset.split.train_nodes[:4], small_dataset.split.test_nodes[:4]
+        ])
+        group_ids = trainer.batch_group_ids(batch)
+        assert group_ids.shape[0] == 2 * batch.shape[0]
+        # Manual labels of train nodes are seen-class internal ids.
+        assert (group_ids[:4] >= 0).all()
+        assert (group_ids[:4] < trainer.label_space.num_seen).all()
+        # The two halves (views) share the same ids.
+        np.testing.assert_array_equal(group_ids[: batch.shape[0]], group_ids[batch.shape[0]:])
+
+    def test_all_loss_terms_disabled_raises(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn"),
+            use_embedding_bpcl=False,
+            use_logit_bpcl=False,
+            use_cross_entropy=False,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        with pytest.raises(ValueError):
+            trainer.fit()
+
+
+class TestAblationVariants:
+    @pytest.mark.parametrize(
+        "use_emb, use_logit, use_ce",
+        [
+            (True, False, False),
+            (False, True, False),
+            (False, False, True),
+            (True, True, True),
+        ],
+    )
+    def test_each_variant_trains(self, small_dataset, use_emb, use_logit, use_ce):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn", batch_size=128),
+            use_embedding_bpcl=use_emb,
+            use_logit_bpcl=use_logit,
+            use_cross_entropy=use_ce,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        history = trainer.fit()
+        assert np.isfinite(history.losses).all()
+
+    def test_eta_scales_ce_contribution(self, small_dataset):
+        base = OpenIMAConfig(trainer=fast_config(max_epochs=1, encoder_kind="gcn"))
+        small_eta = OpenIMATrainer(small_dataset, base.with_updates(eta=0.0))
+        large_eta = OpenIMATrainer(small_dataset, base.with_updates(eta=10.0))
+        # Compute one loss on the same batch from freshly initialized models.
+        batch = np.concatenate([
+            small_dataset.split.train_nodes[:8], small_dataset.split.test_nodes[:8]
+        ])
+        for trainer in (small_eta, large_eta):
+            trainer.refresh_pseudo_labels()
+            trainer.encoder.eval()  # remove dropout randomness
+        view = small_eta.encoder(small_dataset.graph).gather_rows(batch)
+        loss_small = small_eta.compute_loss(view, view, batch).item()
+        view = large_eta.encoder(small_dataset.graph).gather_rows(batch)
+        loss_large = large_eta.compute_loss(view, view, batch).item()
+        assert loss_large > loss_small
+
+
+class TestLargeScaleRefinements:
+    def test_head_prediction_path(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn", batch_size=128),
+            large_scale=True,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        trainer.fit()
+        result = trainer.predict()
+        assert result.predictions.shape[0] == small_dataset.graph.num_nodes
+        accuracy = trainer.evaluate()
+        assert 0.0 <= accuracy.overall <= 1.0
+
+    def test_pairwise_loss_included(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=1, encoder_kind="gcn", batch_size=128),
+            large_scale=True,
+            pairwise_loss_weight=1.0,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        history = trainer.fit()
+        assert np.isfinite(history.losses).all()
+
+
+class TestOpenIMAConfig:
+    def test_defaults_match_paper(self):
+        config = OpenIMAConfig()
+        assert config.eta == 1.0
+        assert config.rho == 75.0
+        assert config.trainer.temperature == 0.7
+        assert config.use_pseudo_labels
+
+    def test_with_updates(self):
+        config = OpenIMAConfig().with_updates(eta=20.0, rho=25.0)
+        assert config.eta == 20.0 and config.rho == 25.0
+
+
+class TestPseudoLabelWarmup:
+    def test_no_pseudo_labels_during_warmup(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=2, encoder_kind="gcn", batch_size=128),
+            pseudo_label_warmup=5,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        trainer.fit()
+        assert trainer.pseudo_labels is None
+
+    def test_refresh_starts_after_warmup(self, small_dataset):
+        config = OpenIMAConfig(
+            trainer=fast_config(max_epochs=3, encoder_kind="gcn", batch_size=128),
+            pseudo_label_warmup=2,
+        )
+        trainer = OpenIMATrainer(small_dataset, config)
+        trainer.fit()
+        assert trainer.pseudo_labels is not None

@@ -1,0 +1,84 @@
+"""Tests for the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import (
+    DatasetProfile,
+    available_datasets,
+    get_profile,
+    register_profile,
+)
+from repro.graphs.generators import SBMConfig
+
+
+EXPECTED_DATASETS = {
+    "citeseer",
+    "amazon-photos",
+    "amazon-computers",
+    "coauthor-cs",
+    "coauthor-physics",
+    "ogbn-arxiv",
+    "ogbn-products",
+}
+
+
+class TestRegistry:
+    def test_all_paper_datasets_registered(self):
+        assert EXPECTED_DATASETS.issubset(set(available_datasets()))
+
+    def test_get_profile_fields(self):
+        profile = get_profile("coauthor-cs")
+        assert profile.paper_name == "Coauthor CS"
+        assert profile.paper_classes == 15
+        assert profile.sbm.num_classes == 15
+        assert not profile.large_scale
+
+    def test_table2_statistics_match_paper(self):
+        paper_stats = {
+            "citeseer": (3_327, 4_676, 3_703, 6),
+            "amazon-photos": (7_650, 119_082, 745, 8),
+            "amazon-computers": (13_752, 245_861, 767, 10),
+            "coauthor-cs": (18_333, 81_894, 6_805, 15),
+            "coauthor-physics": (34_493, 247_962, 8_415, 5),
+            "ogbn-arxiv": (169_343, 1_166_243, 128, 40),
+            "ogbn-products": (2_449_029, 61_859_140, 100, 47),
+        }
+        for name, (nodes, edges, features, classes) in paper_stats.items():
+            profile = get_profile(name)
+            assert profile.paper_nodes == nodes
+            assert profile.paper_edges == edges
+            assert profile.paper_features == features
+            assert profile.paper_classes == classes
+
+    def test_synthetic_class_counts_match_paper(self):
+        for name in EXPECTED_DATASETS:
+            profile = get_profile(name)
+            assert profile.sbm.num_classes == profile.paper_classes
+
+    def test_large_scale_flags(self):
+        assert get_profile("ogbn-arxiv").large_scale
+        assert get_profile("ogbn-products").large_scale
+        assert not get_profile("citeseer").large_scale
+
+    def test_unknown_dataset_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            get_profile("cora")
+
+    def test_register_custom_profile(self):
+        profile = DatasetProfile(
+            name="custom-test-profile",
+            paper_name="Custom",
+            paper_nodes=10,
+            paper_edges=10,
+            paper_features=4,
+            paper_classes=2,
+            sbm=SBMConfig(num_nodes=50, num_classes=2),
+            labels_per_class=5,
+        )
+        register_profile(profile)
+        assert get_profile("custom-test-profile").paper_name == "Custom"
+        with pytest.raises(ValueError):
+            register_profile(profile)
+        register_profile(profile, overwrite=True)

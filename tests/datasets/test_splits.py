@@ -1,0 +1,135 @@
+"""Tests for the open-world split protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.splits import OpenWorldDataset, make_open_world_split
+from repro.graphs.generators import SBMConfig, generate_sbm_graph
+
+
+def make_labeled_graph(num_nodes=200, num_classes=6, seed=0):
+    return generate_sbm_graph(
+        SBMConfig(num_nodes=num_nodes, num_classes=num_classes, feature_dim=8), seed=seed
+    )
+
+
+class TestSplitInvariants:
+    def test_node_partition_is_disjoint_and_complete(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        train, val, test = set(split.train_nodes), set(split.val_nodes), set(split.test_nodes)
+        assert train.isdisjoint(val)
+        assert train.isdisjoint(test)
+        assert val.isdisjoint(test)
+        assert len(train | val | test) == graph.num_nodes
+
+    def test_class_partition(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        assert set(split.seen_classes).isdisjoint(set(split.novel_classes))
+        all_classes = set(np.unique(graph.labels))
+        assert set(split.seen_classes) | set(split.novel_classes) == all_classes
+        assert split.num_seen == 3 and split.num_novel == 3
+
+    def test_train_val_nodes_are_seen_classes_only(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        assert np.isin(graph.labels[split.train_nodes], split.seen_classes).all()
+        assert np.isin(graph.labels[split.val_nodes], split.seen_classes).all()
+
+    def test_test_set_contains_novel_nodes(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        test_labels = graph.labels[split.test_nodes]
+        assert np.isin(test_labels, split.novel_classes).any()
+        assert np.isin(test_labels, split.seen_classes).any()
+
+    def test_label_budget_respected(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=5, seed=0)
+        train_labels = graph.labels[split.train_nodes]
+        for cls in split.seen_classes:
+            assert (train_labels == cls).sum() <= 5
+
+    def test_determinism_and_seed_variation(self):
+        graph = make_labeled_graph()
+        split_a = make_open_world_split(graph, labels_per_class=10, seed=3)
+        split_b = make_open_world_split(graph, labels_per_class=10, seed=3)
+        split_c = make_open_world_split(graph, labels_per_class=10, seed=4)
+        np.testing.assert_array_equal(split_a.train_nodes, split_b.train_nodes)
+        np.testing.assert_array_equal(split_a.seen_classes, split_b.seen_classes)
+        assert (
+            not np.array_equal(split_a.seen_classes, split_c.seen_classes)
+            or not np.array_equal(split_a.train_nodes, split_c.train_nodes)
+        )
+
+    def test_fixed_seen_classes(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0,
+                                      seen_classes=np.array([0, 1]))
+        np.testing.assert_array_equal(split.seen_classes, [0, 1])
+        np.testing.assert_array_equal(split.novel_classes, [2, 3, 4, 5])
+
+    def test_seen_fraction(self):
+        graph = make_labeled_graph(num_classes=8)
+        split = make_open_world_split(graph, seen_fraction=0.25, labels_per_class=5, seed=0)
+        assert split.num_seen == 2
+        assert split.num_novel == 6
+
+    def test_describe(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=1)
+        info = split.describe()
+        assert info["num_seen_classes"] == split.num_seen
+        assert info["num_train"] == split.train_nodes.shape[0]
+
+
+class TestErrors:
+    def test_unlabeled_graph_raises(self):
+        graph = make_labeled_graph()
+        graph = type(graph)(features=graph.features, edge_index=graph.edge_index, labels=None)
+        with pytest.raises(ValueError):
+            make_open_world_split(graph)
+
+    def test_all_classes_seen_raises(self):
+        graph = make_labeled_graph(num_classes=3)
+        with pytest.raises(ValueError):
+            make_open_world_split(graph, seen_classes=np.array([0, 1, 2]))
+
+
+class TestOpenWorldDataset:
+    def test_accessors(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        dataset = OpenWorldDataset(graph=graph, split=split, name="toy")
+        np.testing.assert_array_equal(dataset.train_labels(), graph.labels[split.train_nodes])
+        seen_mask = dataset.seen_mask()
+        assert seen_mask.shape[0] == split.test_nodes.shape[0]
+        info = dataset.describe()
+        assert info["name"] == "toy"
+        assert info["num_nodes"] == graph.num_nodes
+
+    def test_unlabeled_alias(self):
+        graph = make_labeled_graph()
+        split = make_open_world_split(graph, labels_per_class=10, seed=0)
+        np.testing.assert_array_equal(split.unlabeled_nodes(), split.test_nodes)
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=120, max_value=300),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_split_partition_property(self, num_classes, num_nodes, seed):
+        graph = make_labeled_graph(num_nodes=num_nodes, num_classes=num_classes, seed=seed)
+        split = make_open_world_split(graph, labels_per_class=8, seed=seed)
+        union = np.concatenate([split.train_nodes, split.val_nodes, split.test_nodes])
+        assert np.unique(union).shape[0] == graph.num_nodes
+        assert split.num_novel >= 1
+        assert split.num_seen >= 1

@@ -1,0 +1,82 @@
+"""Tests for synthetic dataset construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import get_profile
+from repro.datasets.synthetic import (
+    dataset_profile_summary,
+    dataset_statistics,
+    load_graph,
+    load_open_world_dataset,
+    stratified_node_sample,
+)
+
+
+class TestLoadGraph:
+    def test_full_scale_matches_profile(self):
+        graph = load_graph("citeseer", seed=0)
+        profile = get_profile("citeseer")
+        assert graph.num_nodes == profile.sbm.num_nodes
+        assert graph.num_classes == profile.paper_classes
+
+    def test_scaling_down(self):
+        graph = load_graph("citeseer", seed=0, scale=0.5)
+        profile = get_profile("citeseer")
+        assert graph.num_nodes < profile.sbm.num_nodes
+        assert graph.num_classes == profile.paper_classes
+
+    def test_determinism(self):
+        graph_a = load_graph("amazon-photos", seed=2, scale=0.3)
+        graph_b = load_graph("amazon-photos", seed=2, scale=0.3)
+        np.testing.assert_array_equal(graph_a.labels, graph_b.labels)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_graph("not-a-dataset")
+
+
+class TestLoadOpenWorldDataset:
+    def test_split_attached(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.3)
+        assert dataset.name == "citeseer"
+        assert dataset.split.num_seen >= 1
+        assert dataset.split.num_novel >= 1
+        assert dataset.metadata["profile"].name == "citeseer"
+
+    def test_scale_shrinks_label_budget(self):
+        small = load_open_world_dataset("coauthor-cs", seed=0, scale=0.2)
+        budget = small.metadata["labels_per_class"]
+        assert budget < get_profile("coauthor-cs").labels_per_class
+        assert budget >= 5
+
+    def test_labels_per_class_override(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.5, labels_per_class=7)
+        train_labels = dataset.labels[dataset.split.train_nodes]
+        for cls in dataset.split.seen_classes:
+            assert (train_labels == cls).sum() <= 7
+
+    def test_large_scale_metadata(self):
+        dataset = load_open_world_dataset("ogbn-arxiv", seed=0, scale=0.1)
+        assert dataset.metadata["large_scale"] is True
+
+
+class TestStatisticsAndHelpers:
+    def test_dataset_statistics_contains_both_sides(self):
+        stats = dataset_statistics("coauthor-physics", seed=0, scale=0.3)
+        assert stats["paper_nodes"] == 34_493
+        assert stats["synthetic_nodes"] > 0
+        assert stats["synthetic_classes"] == 5
+
+    def test_profile_summary(self):
+        summary = dataset_profile_summary(get_profile("citeseer"))
+        assert "Citeseer" in summary
+
+    def test_stratified_node_sample(self):
+        labels = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2])
+        sample = stratified_node_sample(labels, per_class=2, seed=0)
+        sampled_labels = labels[sample]
+        for cls in range(3):
+            assert (sampled_labels == cls).sum() == 2

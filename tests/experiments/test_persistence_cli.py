@@ -1,0 +1,98 @@
+"""Tests for result persistence and the CLI entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, experiment_config_from_args, main
+from repro.experiments.persistence import (
+    accuracy_grid,
+    load_results,
+    save_results,
+)
+from repro.experiments.runner import AggregatedResult, ExperimentConfig, RunResult
+from repro.metrics.accuracy import OpenWorldAccuracy
+
+
+def make_aggregated(method="openima", dataset="citeseer"):
+    run = RunResult(
+        method=method,
+        dataset=dataset,
+        seed=0,
+        accuracy=OpenWorldAccuracy(overall=0.8, seen=0.85, novel=0.75),
+        validation_accuracy=0.9,
+        imbalance_rate=1.2,
+        separation_rate=1.6,
+        silhouette=0.4,
+    )
+    return AggregatedResult(method=method, dataset=dataset, runs=[run])
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        results = {"openima": {"citeseer": make_aggregated()}}
+        path = save_results(results, tmp_path / "out.json")
+        loaded = load_results(path)
+        assert loaded["openima"]["citeseer"]["accuracy"]["all"] == pytest.approx(0.8)
+        assert loaded["openima"]["citeseer"]["runs"][0]["seed"] == 0
+
+    def test_numpy_and_nan_values_serialized(self, tmp_path):
+        payload = {
+            "array": np.arange(3),
+            "int": np.int64(7),
+            "float": np.float64(0.5),
+            "nan": float("nan"),
+        }
+        path = save_results(payload, tmp_path / "values.json")
+        loaded = load_results(path)
+        assert loaded["array"] == [0, 1, 2]
+        assert loaded["int"] == 7
+        assert loaded["nan"] is None
+
+    def test_nested_directories_created(self, tmp_path):
+        path = save_results({"x": 1}, tmp_path / "a" / "b" / "c.json")
+        assert path.exists()
+
+    def test_accuracy_grid(self):
+        results = {"openima": {"citeseer": make_aggregated()}}
+        grid = accuracy_grid(results)
+        assert grid["openima"]["citeseer"]["seen"] == pytest.approx(0.85)
+
+
+class TestCLI:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "table5", "table6", "table7", "fig1b", "fig2",
+        }
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.encoder == "gcn"
+        assert args.seeds == [0]
+
+    def test_experiment_config_from_args(self):
+        args = build_parser().parse_args(
+            ["table3", "--scale", "0.2", "--epochs", "3", "--seeds", "0", "1",
+             "--end-to-end-epochs", "5"]
+        )
+        config = experiment_config_from_args(args)
+        assert isinstance(config, ExperimentConfig)
+        assert config.scale == 0.2
+        assert config.max_epochs == 3
+        assert config.seeds == (0, 1)
+        assert config.end_to_end_epochs == 5
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_main_runs_table2_and_writes_json(self, tmp_path, capsys):
+        result = main(["table2", "--output", str(tmp_path / "table2.json")])
+        captured = capsys.readouterr()
+        assert "Table II" in captured.out
+        assert (tmp_path / "table2.json").exists()
+        assert "statistics" in result
+        loaded = load_results(tmp_path / "table2.json")
+        assert "citeseer" in loaded["statistics"]

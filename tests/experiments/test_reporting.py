@@ -1,0 +1,63 @@
+"""Tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import format_accuracy_table, format_table, percent
+from repro.metrics.accuracy import OpenWorldAccuracy
+
+
+class FakeEntry:
+    def __init__(self, overall, seen, novel):
+        self.accuracy = OpenWorldAccuracy(overall=overall, seen=seen, novel=novel)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]], title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "3" in text and "4" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert len(set(line.index("  ") for line in lines[2:] if "  " in line)) >= 1
+
+
+class TestPercent:
+    def test_formats_fraction(self):
+        assert percent(0.756) == "75.6"
+
+    def test_nan(self):
+        assert percent(float("nan")) == "n/a"
+
+    def test_digits(self):
+        assert percent(0.5, digits=2) == "50.00"
+
+
+class TestAccuracyTable:
+    def test_grid_rendering(self):
+        results = {
+            "OpenIMA": {"citeseer": FakeEntry(0.68, 0.72, 0.64)},
+            "ORCA": {"citeseer": FakeEntry(0.58, 0.68, 0.49)},
+        }
+        text = format_accuracy_table(results, ["citeseer"], title="Table III")
+        assert "Table III" in text
+        assert "OpenIMA" in text and "ORCA" in text
+        assert "68.0" in text and "49.0" in text
+
+    def test_missing_dataset_shows_dash(self):
+        results = {"OpenIMA": {}}
+        text = format_accuracy_table(results, ["citeseer"])
+        assert "-" in text
+
+    def test_nan_rendered_as_na(self):
+        results = {"OpenIMA": {"citeseer": FakeEntry(0.5, 0.5, np.nan)}}
+        text = format_accuracy_table(results, ["citeseer"])
+        assert "n/a" in text

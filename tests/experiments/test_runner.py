@@ -1,0 +1,116 @@
+"""Tests for the experiment runner (integration-level, small budgets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.openima import OpenIMATrainer
+from repro.baselines.orca import ORCATrainer
+from repro.experiments.runner import (
+    AggregatedResult,
+    ExperimentConfig,
+    RunResult,
+    build_method,
+    evaluate_trainer,
+    run_method,
+    run_methods,
+)
+from repro.datasets.synthetic import load_open_world_dataset
+from repro.metrics.accuracy import OpenWorldAccuracy
+
+
+TINY = ExperimentConfig(scale=0.15, max_epochs=1, batch_size=128, encoder_kind="gcn", seeds=(0,))
+
+
+class TestBuildMethod:
+    def test_builds_openima(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.15)
+        trainer = build_method("openima", dataset, TINY.trainer_config(0))
+        assert isinstance(trainer, OpenIMATrainer)
+
+    def test_builds_baseline(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.15)
+        trainer = build_method("orca", dataset, TINY.trainer_config(0))
+        assert isinstance(trainer, ORCATrainer)
+
+    def test_openima_overrides_applied(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.15)
+        trainer = build_method(
+            "openima", dataset, TINY.trainer_config(0),
+            openima_overrides={"eta": 20.0, "rho": 25.0},
+        )
+        assert trainer.openima_config.eta == 20.0
+        assert trainer.openima_config.rho == 25.0
+
+    def test_large_scale_inferred_from_dataset(self):
+        dataset = load_open_world_dataset("ogbn-arxiv", seed=0, scale=0.05)
+        trainer = build_method("openima", dataset, TINY.trainer_config(0))
+        assert trainer.openima_config.large_scale is True
+
+    def test_unknown_method_raises(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.15)
+        with pytest.raises(KeyError):
+            build_method("gcd", dataset, TINY.trainer_config(0))
+
+
+class TestRunMethod:
+    def test_run_result_fields(self):
+        result = run_method("infonce", "citeseer", TINY)
+        assert isinstance(result, AggregatedResult)
+        assert len(result.runs) == 1
+        run = result.runs[0]
+        assert isinstance(run, RunResult)
+        assert 0.0 <= run.accuracy.overall <= 1.0
+        assert run.imbalance_rate >= 1.0 or np.isnan(run.imbalance_rate)
+        assert run.separation_rate >= 0.0 or np.isnan(run.separation_rate)
+        data = run.as_dict()
+        assert data["method"] == "infonce" and data["dataset"] == "citeseer"
+
+    def test_multiple_seeds_aggregate(self):
+        config = ExperimentConfig(scale=0.15, max_epochs=1, batch_size=128,
+                                  encoder_kind="gcn", seeds=(0, 1))
+        result = run_method("infonce", "citeseer", config)
+        assert len(result.runs) == 2
+        assert isinstance(result.accuracy, OpenWorldAccuracy)
+        mean_overall = np.mean([r.accuracy.overall for r in result.runs])
+        assert result.accuracy.overall == pytest.approx(mean_overall)
+
+    def test_run_methods_multiple(self):
+        results = run_methods(["infonce", "openima"], "citeseer", TINY)
+        assert set(results) == {"infonce", "openima"}
+
+
+class TestEvaluateTrainer:
+    def test_metrics_from_trained_model(self):
+        dataset = load_open_world_dataset("citeseer", seed=0, scale=0.15)
+        trainer = build_method("openima", dataset, TINY.trainer_config(0))
+        trainer.fit()
+        run = evaluate_trainer(trainer, dataset, "openima", seed=0)
+        assert run.method == "openima"
+        assert np.isfinite(run.silhouette)
+        assert 0.0 <= run.validation_accuracy <= 1.0
+
+
+class TestExperimentConfig:
+    def test_trainer_config_uses_seed(self):
+        config = ExperimentConfig(max_epochs=3, encoder_kind="gcn")
+        trainer_config = config.trainer_config(9)
+        assert trainer_config.seed == 9
+        assert trainer_config.max_epochs == 3
+        assert trainer_config.encoder.kind == "gcn"
+
+
+class TestEpochBudgets:
+    def test_end_to_end_methods_get_larger_budget(self):
+        config = ExperimentConfig(max_epochs=5)
+        assert config.epochs_for("infonce") == 5
+        assert config.epochs_for("openima") == 5
+        assert config.epochs_for("orca") == 15
+        assert config.epochs_for("SimGCD") == 15
+
+    def test_explicit_end_to_end_epochs(self):
+        config = ExperimentConfig(max_epochs=5, end_to_end_epochs=7)
+        assert config.epochs_for("orca") == 7
+        assert config.trainer_config(0, method="orca").max_epochs == 7
+        assert config.trainer_config(0, method="openima").max_epochs == 5

@@ -1,0 +1,117 @@
+"""Smoke tests for the table/figure builders (tiny budgets).
+
+The full reproductions live in benchmarks/; these tests only check that each
+builder runs end-to-end, produces the expected structure, and renders a
+report string.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import build_figure1b, build_figure2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.tables import (
+    TABLE3_DATASETS,
+    TABLE3_METHODS,
+    TABLE5_VARIANTS,
+    build_accuracy_table,
+    build_table2,
+    build_table5,
+    build_table6,
+    build_table7,
+)
+
+TINY = ExperimentConfig(scale=0.12, max_epochs=1, batch_size=96, encoder_kind="gcn", seeds=(0,))
+
+
+class TestTable2:
+    def test_contains_all_seven_datasets(self):
+        result = build_table2(scale=0.2)
+        assert len(result["statistics"]) == 7
+        assert "Citeseer" in result["report"]
+        assert "ogbn-Products" in result["report"]
+
+    def test_paper_statistics_present(self):
+        result = build_table2(scale=0.2)
+        citeseer = result["statistics"]["citeseer"]
+        assert citeseer["paper_nodes"] == 3_327
+        assert citeseer["synthetic_classes"] == 6
+
+
+class TestAccuracyTableBuilder:
+    def test_small_grid(self):
+        result = build_accuracy_table(
+            methods=("infonce", "openima"),
+            datasets=("citeseer",),
+            experiment=TINY,
+            title="tiny table",
+        )
+        assert "tiny table" in result["report"]
+        assert set(result["results"]) == {"infonce", "openima"}
+        entry = result["results"]["openima"]["citeseer"]
+        assert 0.0 <= entry.accuracy.overall <= 1.0
+
+    def test_constants_cover_paper_rows(self):
+        assert len(TABLE3_METHODS) == 12
+        assert len(TABLE3_DATASETS) == 5
+        assert len(TABLE5_VARIANTS) == 8
+
+
+class TestTable5:
+    def test_two_variants_on_one_dataset(self):
+        result = build_table5(
+            experiment=TINY,
+            datasets=("citeseer",),
+            variants=(
+                ("Full OpenIMA", True, True, True, True),
+                ("Ours w/o PL", True, True, True, False),
+            ),
+        )
+        assert set(result["results"]) == {"Full OpenIMA", "Ours w/o PL"}
+        assert "Table V" in result["report"]
+
+
+class TestTable6:
+    def test_estimates_and_results(self):
+        result = build_table6(
+            experiment=TINY, methods=("openima",), datasets=("citeseer",), max_novel=3
+        )
+        assert "citeseer" in result["estimates"]
+        assert 1 <= result["estimates"]["citeseer"] <= 3
+        assert "Table VI" in result["report"]
+
+
+class TestTable7:
+    def test_selection_outcomes(self):
+        result = build_table7(
+            experiment=TINY,
+            dataset_name="citeseer",
+            methods=("infonce",),
+            learning_rates=(1e-3, 1e-2),
+        )
+        outcomes = result["results"]["infonce"]
+        assert set(outcomes) == {"sc", "acc", "sc&acc"}
+        for outcome in outcomes.values():
+            assert 0.0 <= outcome.overall <= 1.0
+            assert outcome.gap >= 0.0
+        assert "Table VII" in result["report"]
+
+
+class TestFigures:
+    def test_figure1b_structure(self):
+        result = build_figure1b(experiment=TINY, dataset_name="citeseer",
+                                methods=("infonce", "openima"))
+        assert set(result["results"]) == {"infonce", "openima"}
+        for entry in result["results"].values():
+            assert entry["imbalance_rate"] >= 1.0
+            assert entry["separation_rate"] >= 0.0
+        assert "Figure 1b" in result["report"]
+
+    def test_figure2_series(self):
+        result = build_figure2(
+            experiment=TINY, datasets=("citeseer",), etas=(1.0, 10.0), rhos=(50.0,)
+        )
+        assert len(result["eta_series"]["citeseer"]) == 2
+        assert len(result["rho_series"]["citeseer"]) == 1
+        assert "Figure 2" in result["report"]

@@ -1,0 +1,113 @@
+"""Tests for the GAT encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.gat import GATEncoder, GATLayer
+from repro.graphs.graph import Graph
+from repro.graphs.utils import add_self_loops
+from repro.nn.tensor import Tensor
+
+
+def path_graph(num_nodes=6, num_features=4, seed=0):
+    rng = np.random.default_rng(seed)
+    src = np.arange(num_nodes - 1)
+    dst = np.arange(1, num_nodes)
+    edge_index = np.hstack([np.vstack([src, dst]), np.vstack([dst, src])])
+    return Graph(features=rng.normal(size=(num_nodes, num_features)), edge_index=edge_index)
+
+
+class TestGATLayer:
+    def test_output_shape_concat(self):
+        layer = GATLayer(4, 3, num_heads=2, concat_heads=True, dropout=0.0,
+                         rng=np.random.default_rng(0))
+        graph = path_graph()
+        edges = add_self_loops(graph.edge_index, graph.num_nodes)
+        out = layer(Tensor(graph.features), edges, graph.num_nodes)
+        assert out.shape == (6, 6)
+        assert layer.output_dim == 6
+
+    def test_output_shape_average(self):
+        layer = GATLayer(4, 3, num_heads=2, concat_heads=False, dropout=0.0,
+                         rng=np.random.default_rng(0))
+        graph = path_graph()
+        edges = add_self_loops(graph.edge_index, graph.num_nodes)
+        out = layer(Tensor(graph.features), edges, graph.num_nodes)
+        assert out.shape == (6, 3)
+        assert layer.output_dim == 3
+
+    def test_gradients_flow_to_all_parameters(self):
+        layer = GATLayer(4, 3, num_heads=2, dropout=0.0, rng=np.random.default_rng(1))
+        graph = path_graph()
+        edges = add_self_loops(graph.edge_index, graph.num_nodes)
+        out = layer(Tensor(graph.features), edges, graph.num_nodes)
+        (out * out).sum().backward()
+        for param in layer.parameters():
+            assert param.grad is not None
+            assert np.isfinite(param.grad).all()
+
+    def test_isolated_node_keeps_self_information(self):
+        # A graph with an isolated node (only the self loop we add).
+        features = np.eye(3)
+        edge_index = np.array([[0, 1], [1, 0]])
+        graph = Graph(features=features, edge_index=edge_index)
+        layer = GATLayer(3, 2, num_heads=1, dropout=0.0, rng=np.random.default_rng(2))
+        edges = add_self_loops(graph.edge_index, graph.num_nodes)
+        out = layer(Tensor(graph.features), edges, graph.num_nodes)
+        assert np.isfinite(out.data).all()
+
+
+class TestGATEncoder:
+    def test_embedding_shape(self):
+        graph = path_graph(num_nodes=10)
+        encoder = GATEncoder(4, hidden_dim=8, out_dim=5, num_heads=2, dropout=0.0,
+                             rng=np.random.default_rng(0))
+        embeddings = encoder.embed(graph)
+        assert embeddings.shape == (10, 5)
+        assert np.isfinite(embeddings).all()
+
+    def test_eval_embeddings_are_deterministic(self):
+        graph = path_graph(num_nodes=8)
+        encoder = GATEncoder(4, hidden_dim=8, out_dim=4, num_heads=2, dropout=0.5,
+                             rng=np.random.default_rng(0))
+        np.testing.assert_allclose(encoder.embed(graph), encoder.embed(graph))
+
+    def test_train_mode_dropout_produces_stochastic_views(self):
+        graph = path_graph(num_nodes=8)
+        encoder = GATEncoder(4, hidden_dim=8, out_dim=4, num_heads=2, dropout=0.5,
+                             rng=np.random.default_rng(0))
+        encoder.train()
+        view1 = encoder(graph).data
+        view2 = encoder(graph).data
+        assert not np.allclose(view1, view2)
+
+    def test_embed_preserves_training_mode(self):
+        graph = path_graph()
+        encoder = GATEncoder(4, hidden_dim=8, out_dim=4, num_heads=2,
+                             rng=np.random.default_rng(0))
+        encoder.train()
+        encoder.embed(graph)
+        assert encoder.training is True
+
+    def test_training_step_changes_output(self):
+        from repro.nn.optim import Adam
+
+        graph = path_graph(num_nodes=12, seed=3)
+        encoder = GATEncoder(4, hidden_dim=8, out_dim=4, num_heads=2, dropout=0.0,
+                             rng=np.random.default_rng(0))
+        optimizer = Adam(encoder.parameters(), lr=0.05)
+        before = encoder.embed(graph).copy()
+        encoder.train()
+        loss = (encoder(graph) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+        after = encoder.embed(graph)
+        assert not np.allclose(before, after)
+
+    def test_per_head_hidden_dimension(self):
+        encoder = GATEncoder(4, hidden_dim=16, out_dim=4, num_heads=4,
+                             rng=np.random.default_rng(0))
+        assert encoder.layer1.out_features == 4
+        assert encoder.layer1.output_dim == 16

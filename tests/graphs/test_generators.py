@@ -1,0 +1,179 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    SBMConfig,
+    erdos_renyi_graph,
+    featureless_identity_features,
+    generate_sbm_graph,
+    generate_two_gaussian_samples,
+)
+from repro.graphs.utils import edge_homophily
+
+
+class TestSBMGenerator:
+    def test_basic_shape(self):
+        config = SBMConfig(num_nodes=200, num_classes=4, avg_degree=6.0, feature_dim=16)
+        graph = generate_sbm_graph(config, seed=0)
+        assert graph.num_nodes == 200
+        assert graph.num_features == 16
+        assert graph.num_classes == 4
+        assert graph.num_edges > 0
+        # Edges stored as directed pairs in both directions.
+        pairs = set(map(tuple, graph.edge_index.T))
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_determinism(self):
+        config = SBMConfig(num_nodes=150, num_classes=3)
+        graph_a = generate_sbm_graph(config, seed=5)
+        graph_b = generate_sbm_graph(config, seed=5)
+        np.testing.assert_array_equal(graph_a.labels, graph_b.labels)
+        np.testing.assert_array_equal(graph_a.edge_index, graph_b.edge_index)
+        np.testing.assert_allclose(graph_a.features, graph_b.features)
+
+    def test_different_seeds_differ(self):
+        config = SBMConfig(num_nodes=150, num_classes=3)
+        graph_a = generate_sbm_graph(config, seed=1)
+        graph_b = generate_sbm_graph(config, seed=2)
+        assert not np.array_equal(graph_a.edge_index, graph_b.edge_index)
+
+    def test_homophily_is_controlled(self):
+        high = generate_sbm_graph(
+            SBMConfig(num_nodes=400, num_classes=4, avg_degree=12, homophily=0.9), seed=0
+        )
+        low = generate_sbm_graph(
+            SBMConfig(num_nodes=400, num_classes=4, avg_degree=12, homophily=0.3), seed=0
+        )
+        assert edge_homophily(high) > edge_homophily(low)
+        assert edge_homophily(high) > 0.7
+
+    def test_class_imbalance(self):
+        balanced = generate_sbm_graph(
+            SBMConfig(num_nodes=300, num_classes=3, class_imbalance=0.0), seed=0
+        )
+        skewed = generate_sbm_graph(
+            SBMConfig(num_nodes=300, num_classes=3, class_imbalance=2.0), seed=0
+        )
+        balanced_counts = np.bincount(balanced.labels)
+        skewed_counts = np.bincount(skewed.labels)
+        assert balanced_counts.max() - balanced_counts.min() <= 1
+        assert skewed_counts.max() > 2 * skewed_counts.min()
+
+    def test_all_nodes_covered_by_classes(self):
+        graph = generate_sbm_graph(SBMConfig(num_nodes=97, num_classes=5), seed=3)
+        assert graph.labels.shape[0] == 97
+        assert set(np.unique(graph.labels)) == set(range(5))
+
+    def test_feature_sparsity(self):
+        dense = generate_sbm_graph(
+            SBMConfig(num_nodes=200, num_classes=4, feature_sparsity=0.0), seed=0
+        )
+        sparse = generate_sbm_graph(
+            SBMConfig(num_nodes=200, num_classes=4, feature_sparsity=0.9), seed=0
+        )
+        assert (sparse.features == 0).mean() > (dense.features == 0).mean()
+        assert (sparse.features == 0).mean() > 0.8
+
+    def test_features_carry_class_signal(self):
+        graph = generate_sbm_graph(
+            SBMConfig(num_nodes=300, num_classes=3, feature_noise=0.2,
+                      feature_sparsity=0.0, feature_dim=32),
+            seed=0,
+        )
+        # Class centroids should be far apart relative to intra-class spread.
+        centroids = np.stack([graph.features[graph.labels == c].mean(axis=0) for c in range(3)])
+        spread = np.mean([
+            np.linalg.norm(graph.features[graph.labels == c] - centroids[c], axis=1).mean()
+            for c in range(3)
+        ])
+        distance = np.linalg.norm(centroids[0] - centroids[1])
+        assert distance > spread
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            generate_sbm_graph(SBMConfig(num_nodes=10, num_classes=1), seed=0)
+        with pytest.raises(ValueError):
+            generate_sbm_graph(SBMConfig(num_nodes=2, num_classes=5), seed=0)
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=60, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_property_no_self_loops_and_valid_indices(self, num_classes, num_nodes):
+        graph = generate_sbm_graph(
+            SBMConfig(num_nodes=num_nodes, num_classes=num_classes), seed=num_nodes
+        )
+        src, dst = graph.edge_index
+        assert (src != dst).all()
+        assert src.max() < num_nodes and dst.max() < num_nodes
+
+
+class TestTwoGaussianSamples:
+    def test_shapes_and_labels(self):
+        samples, labels = generate_two_gaussian_samples(5.0, 1.0, 2.0, num_samples=200, dim=3)
+        assert samples.shape == (200, 3)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_mean_distance_respected(self):
+        samples, labels = generate_two_gaussian_samples(10.0, 0.5, 0.5, num_samples=2000, seed=1)
+        mean0 = samples[labels == 0].mean(axis=0)
+        mean1 = samples[labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean1 - mean0) == pytest.approx(10.0, rel=0.1)
+
+    def test_std_ordering(self):
+        samples, labels = generate_two_gaussian_samples(20.0, 0.5, 3.0, num_samples=4000, seed=2)
+        std0 = samples[labels == 0].std()
+        std1 = samples[labels == 1].std()
+        assert std1 > std0
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=0, labels=[0] * 15 + [1] * 15)
+        assert graph.num_nodes == 30
+        assert graph.num_classes == 2
+        src, dst = graph.edge_index
+        assert (src != dst).all()
+
+    def test_erdos_renyi_no_labels(self):
+        graph = erdos_renyi_graph(10, 0.3, seed=1)
+        assert graph.labels is None
+
+    def test_identity_features(self):
+        features = featureless_identity_features(5)
+        np.testing.assert_array_equal(features, np.eye(5))
+
+
+class TestSignatureCorrelation:
+    def test_correlated_siblings_are_closer_in_feature_space(self):
+        base = SBMConfig(num_nodes=400, num_classes=4, feature_dim=48,
+                         feature_sparsity=0.0, feature_noise=0.2)
+        correlated = SBMConfig(num_nodes=400, num_classes=4, feature_dim=48,
+                               feature_sparsity=0.0, feature_noise=0.2,
+                               signature_correlation=0.9)
+
+        def sibling_vs_cross_distance(graph):
+            centroids = np.stack([
+                graph.features[graph.labels == c].mean(axis=0) for c in range(4)
+            ])
+            sibling = np.linalg.norm(centroids[0] - centroids[1])
+            cross = np.linalg.norm(centroids[0] - centroids[2])
+            return sibling, cross
+
+        sib_plain, cross_plain = sibling_vs_cross_distance(generate_sbm_graph(base, seed=0))
+        sib_corr, cross_corr = sibling_vs_cross_distance(generate_sbm_graph(correlated, seed=0))
+        # With correlated signatures, sibling classes (0, 1) are much closer
+        # to each other than to non-sibling classes.
+        assert sib_corr / cross_corr < sib_plain / cross_plain
+        assert sib_corr < cross_corr
+
+    def test_zero_correlation_matches_default_behaviour(self):
+        config_a = SBMConfig(num_nodes=100, num_classes=3, signature_correlation=0.0)
+        config_b = SBMConfig(num_nodes=100, num_classes=3)
+        graph_a = generate_sbm_graph(config_a, seed=1)
+        graph_b = generate_sbm_graph(config_b, seed=1)
+        np.testing.assert_allclose(graph_a.features, graph_b.features)

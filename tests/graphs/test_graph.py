@@ -1,0 +1,94 @@
+"""Tests for the Graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+def make_triangle_graph():
+    features = np.eye(3)
+    edge_index = np.array([[0, 1, 1, 2, 2, 0], [1, 0, 2, 1, 0, 2]])
+    labels = np.array([0, 0, 1])
+    return Graph(features=features, edge_index=edge_index, labels=labels, name="triangle")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        graph = make_triangle_graph()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 6
+        assert graph.num_features == 3
+        assert graph.num_classes == 2
+        assert "triangle" in repr(graph)
+
+    def test_invalid_edge_index_shape(self):
+        with pytest.raises(ValueError):
+            Graph(features=np.eye(3), edge_index=np.array([[0, 1, 2]]))
+
+    def test_edge_referencing_missing_node(self):
+        with pytest.raises(ValueError):
+            Graph(features=np.eye(2), edge_index=np.array([[0, 5], [1, 0]]))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(features=np.eye(3), edge_index=np.zeros((2, 0), dtype=int),
+                  labels=np.array([0, 1]))
+
+    def test_unlabeled_graph(self):
+        graph = Graph(features=np.eye(3), edge_index=np.zeros((2, 0), dtype=int))
+        assert graph.num_classes == 0
+        assert graph.labels is None
+
+
+class TestDerivedStructures:
+    def test_adjacency_matches_edges(self):
+        graph = make_triangle_graph()
+        adjacency = graph.adjacency().toarray()
+        assert adjacency.sum() == graph.num_edges
+        assert adjacency[0, 1] == 1 and adjacency[1, 0] == 1
+
+    def test_adjacency_cached(self):
+        graph = make_triangle_graph()
+        assert graph.adjacency() is graph.adjacency()
+
+    def test_degrees(self):
+        graph = make_triangle_graph()
+        np.testing.assert_array_equal(graph.degrees(), [2, 2, 2])
+
+    def test_neighbors(self):
+        graph = make_triangle_graph()
+        assert set(graph.neighbors(1)) == {0, 2}
+
+    def test_copy_is_independent(self):
+        graph = make_triangle_graph()
+        clone = graph.copy()
+        clone.features[0, 0] = 99.0
+        assert graph.features[0, 0] == 1.0
+        clone.labels[0] = 5
+        assert graph.labels[0] == 0
+
+
+class TestSubgraph:
+    def test_subgraph_relabels_nodes(self):
+        graph = make_triangle_graph()
+        sub = graph.subgraph(np.array([0, 2]))
+        assert sub.num_nodes == 2
+        # Only the 0-2 edge survives (both directions).
+        assert sub.num_edges == 2
+        assert sub.edge_index.max() <= 1
+        np.testing.assert_array_equal(sub.labels, [0, 1])
+
+    def test_subgraph_of_all_nodes_is_whole_graph(self):
+        graph = make_triangle_graph()
+        sub = graph.subgraph(np.arange(3))
+        assert sub.num_nodes == graph.num_nodes
+        assert sub.num_edges == graph.num_edges
+
+    def test_subgraph_empty_edges(self):
+        graph = make_triangle_graph()
+        sub = graph.subgraph(np.array([0]))
+        assert sub.num_nodes == 1
+        assert sub.num_edges == 0

@@ -1,0 +1,101 @@
+"""Tests for graph utility functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.utils import (
+    add_self_loops,
+    connected_components,
+    edge_homophily,
+    largest_connected_component,
+    normalized_adjacency,
+    remove_self_loops,
+    symmetrize_edges,
+    unique_edges,
+)
+
+
+class TestEdgeManipulation:
+    def test_symmetrize_adds_reverse_edges(self):
+        edges = np.array([[0, 1], [1, 2]])
+        symmetric = symmetrize_edges(edges)
+        pairs = set(map(tuple, symmetric.T))
+        assert (1, 0) in pairs and (2, 1) in pairs
+        assert symmetric.shape[1] == 4
+
+    def test_symmetrize_is_idempotent(self):
+        edges = np.array([[0, 1, 1, 0], [1, 0, 2, 2]])
+        once = symmetrize_edges(edges)
+        twice = symmetrize_edges(once)
+        assert once.shape == twice.shape
+
+    def test_unique_edges_removes_duplicates(self):
+        edges = np.array([[0, 0, 1], [1, 1, 2]])
+        assert unique_edges(edges).shape[1] == 2
+
+    def test_unique_edges_empty(self):
+        assert unique_edges(np.zeros((2, 0), dtype=int)).shape == (2, 0)
+
+    def test_remove_self_loops(self):
+        edges = np.array([[0, 1, 2], [0, 2, 2]])
+        cleaned = remove_self_loops(edges)
+        assert cleaned.shape[1] == 1
+        assert (cleaned[0] != cleaned[1]).all()
+
+    def test_add_self_loops(self):
+        edges = np.array([[0, 1], [1, 0]])
+        with_loops = add_self_loops(edges, num_nodes=3)
+        pairs = set(map(tuple, with_loops.T))
+        assert {(0, 0), (1, 1), (2, 2)}.issubset(pairs)
+        assert with_loops.shape[1] == 5
+
+
+class TestNormalizedAdjacency:
+    def test_rows_of_regular_graph(self):
+        # A 3-cycle with self loops: every node has degree 3 after loops.
+        edges = np.array([[0, 1, 1, 2, 2, 0], [1, 0, 2, 1, 0, 2]])
+        graph = Graph(features=np.eye(3), edge_index=edges)
+        matrix = normalized_adjacency(graph).toarray()
+        np.testing.assert_allclose(matrix.sum(axis=1), np.ones(3), atol=1e-12)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_isolated_node_handled(self):
+        graph = Graph(features=np.eye(3), edge_index=np.array([[0, 1], [1, 0]]))
+        matrix = normalized_adjacency(graph, add_loops=False).toarray()
+        assert np.isfinite(matrix).all()
+        assert matrix[2].sum() == 0.0
+
+
+class TestHomophilyAndComponents:
+    def test_edge_homophily_perfect(self):
+        edges = np.array([[0, 1], [1, 0]])
+        graph = Graph(features=np.eye(2), edge_index=edges, labels=np.array([1, 1]))
+        assert edge_homophily(graph) == 1.0
+
+    def test_edge_homophily_mixed(self):
+        edges = np.array([[0, 1, 0, 2], [1, 0, 2, 0]])
+        graph = Graph(features=np.eye(3), edge_index=edges, labels=np.array([0, 0, 1]))
+        assert edge_homophily(graph) == pytest.approx(0.5)
+
+    def test_edge_homophily_unlabeled_nan(self):
+        graph = Graph(features=np.eye(2), edge_index=np.array([[0, 1], [1, 0]]))
+        assert np.isnan(edge_homophily(graph))
+
+    def test_connected_components(self):
+        edges = np.array([[0, 1, 2, 3], [1, 0, 3, 2]])
+        graph = Graph(features=np.eye(5), edge_index=edges)
+        components = connected_components(graph)
+        assert components[0] == components[1]
+        assert components[2] == components[3]
+        assert components[0] != components[2]
+        assert len(np.unique(components)) == 3
+
+    def test_largest_connected_component(self):
+        edges = np.array([[0, 1, 1, 2, 3, 4], [1, 0, 2, 1, 4, 3]])
+        graph = Graph(features=np.eye(6), edge_index=edges, labels=np.arange(6))
+        largest = largest_connected_component(graph)
+        assert largest.num_nodes == 3
+        np.testing.assert_array_equal(np.sort(largest.labels), [0, 1, 2])

@@ -1,0 +1,74 @@
+"""Tests for the open-world accuracy metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import OpenWorldAccuracy, open_world_accuracy, plain_accuracy
+
+
+class TestOpenWorldAccuracy:
+    def test_perfect_prediction(self):
+        targets = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        accuracy = open_world_accuracy(targets, targets, seen_classes=np.array([0, 1]))
+        assert accuracy.overall == pytest.approx(1.0)
+        assert accuracy.seen == pytest.approx(1.0)
+        assert accuracy.novel == pytest.approx(1.0)
+
+    def test_permuted_novel_ids_still_perfect(self):
+        # The model labels novel classes with its own ids (e.g. 10/11); the
+        # Hungarian matching should still find the perfect correspondence.
+        targets = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        predictions = np.array([0, 0, 1, 1, 11, 11, 10, 10])
+        accuracy = open_world_accuracy(predictions, targets, seen_classes=np.array([0, 1]))
+        assert accuracy.overall == pytest.approx(1.0)
+        assert accuracy.novel == pytest.approx(1.0)
+
+    def test_seen_vs_novel_breakdown(self):
+        targets = np.array([0, 0, 0, 0, 5, 5, 5, 5])
+        # Seen class 0 predicted correctly; novel class 5 split in half.
+        predictions = np.array([0, 0, 0, 0, 9, 9, 8, 7])
+        accuracy = open_world_accuracy(predictions, targets, seen_classes=np.array([0]))
+        assert accuracy.seen == pytest.approx(1.0)
+        assert accuracy.novel == pytest.approx(0.5)
+        assert accuracy.overall == pytest.approx(0.75)
+
+    def test_single_hungarian_run_couples_seen_and_novel(self):
+        # If the model confuses a seen class with a novel class, the single
+        # global matching cannot give both full credit.
+        targets = np.array([0, 0, 1, 1])
+        predictions = np.array([1, 1, 0, 0])
+        accuracy = open_world_accuracy(predictions, targets, seen_classes=np.array([0]))
+        assert accuracy.overall == pytest.approx(1.0)
+
+    def test_no_novel_nodes_gives_nan_novel(self):
+        targets = np.array([0, 1, 0])
+        accuracy = open_world_accuracy(targets, targets, seen_classes=np.array([0, 1]))
+        assert np.isnan(accuracy.novel)
+        assert accuracy.seen == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        accuracy = open_world_accuracy(np.array([]), np.array([]), seen_classes=np.array([0]))
+        assert np.isnan(accuracy.overall)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            open_world_accuracy(np.array([0, 1]), np.array([0]), seen_classes=np.array([0]))
+
+    def test_as_dict_and_str(self):
+        accuracy = OpenWorldAccuracy(overall=0.5, seen=0.6, novel=0.4)
+        assert accuracy.as_dict() == {"all": 0.5, "seen": 0.6, "novel": 0.4}
+        assert "50.0%" in str(accuracy)
+
+
+class TestPlainAccuracy:
+    def test_value(self):
+        assert plain_accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(plain_accuracy(np.array([]), np.array([])))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            plain_accuracy(np.array([1]), np.array([1, 2]))

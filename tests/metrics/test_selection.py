@@ -1,0 +1,125 @@
+"""Tests for the SC&ACC model-selection metric and novel-class estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.selection import (
+    CandidateScore,
+    combined_sc_acc,
+    estimate_num_novel_classes,
+    minmax_normalize,
+    score_candidate,
+    select_best_candidate,
+)
+
+
+class TestMinMaxNormalize:
+    def test_normalizes_to_unit_interval(self):
+        out = minmax_normalize([1.0, 3.0, 5.0])
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_constant_input_maps_to_ones(self):
+        np.testing.assert_allclose(minmax_normalize([2.0, 2.0, 2.0]), [1.0, 1.0, 1.0])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_output_in_unit_interval(self, values):
+        out = minmax_normalize(values)
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+
+class TestCombinedSCACC:
+    def test_equal_weighting(self):
+        candidates = [
+            CandidateScore("a", silhouette=0.0, validation_accuracy=1.0),
+            CandidateScore("b", silhouette=1.0, validation_accuracy=0.0),
+            CandidateScore("c", silhouette=0.5, validation_accuracy=0.5),
+        ]
+        scores = combined_sc_acc(candidates)
+        assert scores[0] == pytest.approx(scores[1])
+        assert scores[2] == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            combined_sc_acc([])
+
+
+class TestSelectBestCandidate:
+    CANDIDATES = [
+        CandidateScore("low-sc-high-acc", silhouette=0.1, validation_accuracy=0.9),
+        CandidateScore("high-sc-low-acc", silhouette=0.9, validation_accuracy=0.1),
+        CandidateScore("balanced", silhouette=0.7, validation_accuracy=0.7),
+    ]
+
+    def test_sc_metric(self):
+        assert select_best_candidate(self.CANDIDATES, metric="sc").name == "high-sc-low-acc"
+
+    def test_acc_metric(self):
+        assert select_best_candidate(self.CANDIDATES, metric="acc").name == "low-sc-high-acc"
+
+    def test_combined_metric_prefers_balanced(self):
+        assert select_best_candidate(self.CANDIDATES, metric="sc&acc").name == "balanced"
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            select_best_candidate(self.CANDIDATES, metric="f1")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            select_best_candidate([], metric="sc")
+
+
+class TestScoreCandidate:
+    def test_good_clustering_scores_higher(self):
+        rng = np.random.default_rng(0)
+        embeddings = np.vstack([
+            rng.normal([0, 0], 0.2, size=(50, 2)),
+            rng.normal([10, 10], 0.2, size=(50, 2)),
+        ])
+        good_labels = np.array([0] * 50 + [1] * 50)
+        bad_labels = rng.integers(0, 2, size=100)
+        good = score_candidate("good", embeddings, good_labels, validation_accuracy=0.8)
+        bad = score_candidate("bad", embeddings, bad_labels, validation_accuracy=0.8)
+        assert good.silhouette > bad.silhouette
+
+    def test_eval_indices_restrict_computation(self):
+        rng = np.random.default_rng(1)
+        embeddings = rng.normal(size=(100, 3))
+        labels = rng.integers(0, 3, size=100)
+        subset = np.arange(30)
+        candidate = score_candidate("subset", embeddings, labels, 0.5, eval_indices=subset)
+        assert np.isfinite(candidate.silhouette)
+
+    def test_single_cluster_gets_minus_one(self):
+        embeddings = np.random.default_rng(2).normal(size=(20, 2))
+        labels = np.zeros(20, dtype=int)
+        candidate = score_candidate("degenerate", embeddings, labels, 0.5)
+        assert candidate.silhouette == -1.0
+
+
+class TestEstimateNumNovelClasses:
+    def test_recovers_true_count_on_separated_blobs(self):
+        rng = np.random.default_rng(3)
+        # 2 seen + 3 novel = 5 well-separated blobs.
+        centers = np.array([[0, 0], [20, 0], [0, 20], [20, 20], [40, 20]], dtype=float)
+        embeddings = np.vstack([
+            rng.normal(center, 0.3, size=(40, 2)) for center in centers
+        ])
+        estimate = estimate_num_novel_classes(embeddings, num_seen_classes=2, max_novel=6, seed=0)
+        assert estimate == 3
+
+    def test_estimate_bounded_by_max_novel(self):
+        rng = np.random.default_rng(4)
+        embeddings = rng.normal(size=(60, 4))
+        estimate = estimate_num_novel_classes(embeddings, num_seen_classes=2, max_novel=4)
+        assert 1 <= estimate <= 4
+
+    def test_handles_tiny_sample(self):
+        embeddings = np.random.default_rng(5).normal(size=(8, 2))
+        estimate = estimate_num_novel_classes(embeddings, num_seen_classes=2, max_novel=10)
+        assert estimate >= 1

@@ -1,0 +1,118 @@
+"""Tests for the imbalance rate and separation rate metrics (Eq. 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.variance import (
+    class_statistics,
+    intra_class_variance,
+    pair_imbalance_rate,
+    pair_separation_rate,
+    variance_imbalance_report,
+)
+
+
+def two_class_embeddings(std_seen=0.5, std_novel=2.0, distance=10.0, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    seen = rng.normal(0.0, std_seen, size=(n, 4))
+    novel = rng.normal(0.0, std_novel, size=(n, 4))
+    novel[:, 0] += distance
+    embeddings = np.vstack([seen, novel])
+    labels = np.array([0] * n + [1] * n)
+    return embeddings, labels
+
+
+class TestClassStatistics:
+    def test_mean_and_std(self):
+        embeddings, labels = two_class_embeddings()
+        stats = class_statistics(embeddings, labels)
+        assert set(stats) == {0, 1}
+        assert stats[0].count == 200
+        np.testing.assert_allclose(stats[0].mean, np.zeros(4), atol=0.2)
+        assert stats[1].std > stats[0].std
+
+
+class TestPairRates:
+    def test_imbalance_rate_definition(self):
+        embeddings, labels = two_class_embeddings(std_seen=0.5, std_novel=2.0)
+        stats = class_statistics(embeddings, labels)
+        rate = pair_imbalance_rate(stats[0], stats[1])
+        # sigma_novel / sigma_seen ~ 4 (scaled by sqrt(d) factors cancelling).
+        assert rate == pytest.approx(4.0, rel=0.2)
+        assert rate >= 1.0
+
+    def test_imbalance_rate_symmetric(self):
+        embeddings, labels = two_class_embeddings()
+        stats = class_statistics(embeddings, labels)
+        assert pair_imbalance_rate(stats[0], stats[1]) == pytest.approx(
+            pair_imbalance_rate(stats[1], stats[0])
+        )
+
+    def test_separation_rate_grows_with_distance(self):
+        near, labels = two_class_embeddings(distance=2.0)
+        far, _ = two_class_embeddings(distance=20.0)
+        stats_near = class_statistics(near, labels)
+        stats_far = class_statistics(far, labels)
+        assert pair_separation_rate(stats_far[0], stats_far[1]) > \
+            pair_separation_rate(stats_near[0], stats_near[1])
+
+    def test_degenerate_zero_std(self):
+        from repro.metrics.variance import ClassStatistics
+
+        point = ClassStatistics(mean=np.zeros(2), std=0.0, count=5)
+        spread = ClassStatistics(mean=np.ones(2), std=1.0, count=5)
+        assert pair_imbalance_rate(point, spread) == np.inf
+        assert pair_imbalance_rate(point, point) == 1.0
+        assert pair_separation_rate(point, point) == 0.0
+
+
+class TestReport:
+    def test_report_averages_over_pairs(self):
+        rng = np.random.default_rng(1)
+        # Two seen (tight) classes and two novel (loose) classes.
+        embeddings = np.vstack([
+            rng.normal([0, 0], 0.3, size=(50, 2)),
+            rng.normal([5, 0], 0.3, size=(50, 2)),
+            rng.normal([0, 8], 1.5, size=(50, 2)),
+            rng.normal([8, 8], 1.5, size=(50, 2)),
+        ])
+        labels = np.repeat([0, 1, 2, 3], 50)
+        imbalance, separation = variance_imbalance_report(
+            embeddings, labels, seen_classes=np.array([0, 1]), novel_classes=np.array([2, 3])
+        )
+        assert imbalance > 2.0
+        assert separation > 1.0
+
+    def test_supervised_style_shrinkage_increases_imbalance(self):
+        # Shrinking seen-class spread (as supervised losses do) raises the rate.
+        loose, labels = two_class_embeddings(std_seen=1.8, std_novel=2.0)
+        tight, _ = two_class_embeddings(std_seen=0.4, std_novel=2.0)
+        imbalance_loose, _ = variance_imbalance_report(
+            loose, labels, np.array([0]), np.array([1])
+        )
+        imbalance_tight, _ = variance_imbalance_report(
+            tight, labels, np.array([0]), np.array([1])
+        )
+        assert imbalance_tight > imbalance_loose
+
+    def test_missing_classes_return_nan(self):
+        embeddings = np.zeros((4, 2))
+        labels = np.zeros(4, dtype=int)
+        imbalance, separation = variance_imbalance_report(
+            embeddings, labels, np.array([5]), np.array([6])
+        )
+        assert np.isnan(imbalance) and np.isnan(separation)
+
+
+class TestIntraClassVariance:
+    def test_mean_spread(self):
+        embeddings, labels = two_class_embeddings(std_seen=0.5, std_novel=2.0)
+        seen_var = intra_class_variance(embeddings, labels, np.array([0]))
+        novel_var = intra_class_variance(embeddings, labels, np.array([1]))
+        assert novel_var > seen_var
+
+    def test_empty_selection(self):
+        embeddings, labels = two_class_embeddings()
+        assert np.isnan(intra_class_variance(embeddings, labels, np.array([9])))

@@ -1,0 +1,117 @@
+"""Tests for the SGD and Adam optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import glorot_normal, glorot_uniform, zeros_init
+from repro.nn.layers import Linear, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ||p - 3||^2 with minimum at 3."""
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        param_plain = Parameter(np.zeros(1))
+        param_momentum = Parameter(np.zeros(1))
+        plain = SGD([param_plain], lr=0.01)
+        momentum = SGD([param_momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            for param, optimizer in ((param_plain, plain), (param_momentum, momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(param).backward()
+                optimizer.step()
+        assert abs(param_momentum.data[0] - 3.0) < abs(param_plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.full(3, 10.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert (param.data < 10.0).all()
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no gradient computed -> no change, no crash
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_weight = rng.normal(size=(3, 1))
+        x = rng.normal(size=(64, 3))
+        y = x @ true_weight
+        layer = Linear(3, 1, bias=False, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.05)
+
+    def test_weight_decay_changes_trajectory(self):
+        param_a = Parameter(np.full(2, 5.0))
+        param_b = Parameter(np.full(2, 5.0))
+        adam_plain = Adam([param_a], lr=0.1)
+        adam_decay = Adam([param_b], lr=0.1, weight_decay=1.0)
+        for _ in range(10):
+            for param, optimizer in ((param_a, adam_plain), (param_b, adam_decay)):
+                optimizer.zero_grad()
+                quadratic_loss(param).backward()
+                optimizer.step()
+        assert not np.allclose(param_a.data, param_b.data)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        values = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert values.max() <= limit and values.min() >= -limit
+
+    def test_glorot_normal_scale(self):
+        rng = np.random.default_rng(1)
+        values = glorot_normal((200, 100), rng)
+        expected_std = np.sqrt(2.0 / 300)
+        assert values.std() == pytest.approx(expected_std, rel=0.2)
+
+    def test_zeros_init(self):
+        assert zeros_init((3, 3)).sum() == 0.0
+
+    def test_glorot_vector_shape(self):
+        rng = np.random.default_rng(2)
+        assert glorot_uniform((7,), rng).shape == (7,)

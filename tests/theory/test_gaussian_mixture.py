@@ -1,0 +1,59 @@
+"""Tests for the two-Gaussian theoretical model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.gaussian_mixture import TwoGaussianMixture, from_alpha_gamma
+
+
+class TestTwoGaussianMixture:
+    def test_alpha_and_gamma(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=6.0, sigma1=1.0, sigma2=2.0)
+        assert mixture.alpha == pytest.approx(2.0)
+        assert mixture.gamma == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TwoGaussianMixture(mu1=0.0, mu2=1.0, sigma1=-1.0, sigma2=1.0)
+        with pytest.raises(ValueError):
+            TwoGaussianMixture(mu1=1.0, mu2=0.0, sigma1=1.0, sigma2=1.0)
+
+    def test_sampling_statistics(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=10.0, sigma1=1.0, sigma2=2.0)
+        values, labels = mixture.sample(20_000, seed=0)
+        assert values.shape == (20_000,)
+        class0 = values[labels == 0]
+        class1 = values[labels == 1]
+        assert class0.mean() == pytest.approx(0.0, abs=0.05)
+        assert class1.mean() == pytest.approx(10.0, abs=0.1)
+        assert class0.std() == pytest.approx(1.0, rel=0.05)
+        assert class1.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_density_integrates_to_one(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=5.0, sigma1=1.0, sigma2=1.5)
+        xs = np.linspace(-10, 20, 5_000)
+        integral = np.trapezoid(mixture.density(xs), xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_equal_priors(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=5.0, sigma1=1.0, sigma2=1.0)
+        _, labels = mixture.sample(10_000, seed=1)
+        assert labels.mean() == pytest.approx(0.5, abs=0.02)
+
+
+class TestFromAlphaGamma:
+    def test_construction(self):
+        mixture = from_alpha_gamma(alpha=2.0, gamma=1.5, sigma1=1.0)
+        assert mixture.sigma1 == 1.0
+        assert mixture.sigma2 == 1.5
+        assert mixture.mu2 - mixture.mu1 == pytest.approx(2.0 * (1.0 + 1.5))
+        assert mixture.alpha == pytest.approx(2.0)
+        assert mixture.gamma == pytest.approx(1.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            from_alpha_gamma(alpha=0.0, gamma=1.5)
+        with pytest.raises(ValueError):
+            from_alpha_gamma(alpha=2.0, gamma=0.5)

@@ -1,0 +1,85 @@
+"""Tests for the closed-form 1-D K-Means analysis used by Theorem 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.gaussian_mixture import TwoGaussianMixture, from_alpha_gamma
+from repro.theory.kmeans_1d import (
+    expected_accuracies,
+    expected_cluster_centers,
+    h,
+    optimal_threshold,
+    simulate_kmeans_accuracy,
+)
+
+
+class TestExpectedClusterCenters:
+    def test_symmetric_mixture_has_symmetric_centers(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=10.0, sigma1=1.0, sigma2=1.0)
+        theta1, theta2 = expected_cluster_centers(mixture, s=5.0)
+        assert theta1 == pytest.approx(10.0 - theta2, abs=1e-6)
+        assert theta1 < 5.0 < theta2
+
+    def test_centers_close_to_means_for_separated_mixture(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=20.0, sigma1=1.0, sigma2=1.5)
+        theta1, theta2 = expected_cluster_centers(mixture, s=10.0)
+        assert theta1 == pytest.approx(0.0, abs=0.1)
+        assert theta2 == pytest.approx(20.0, abs=0.15)
+
+    def test_extreme_threshold_degenerates_gracefully(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=10.0, sigma1=1.0, sigma2=1.0)
+        theta1, theta2 = expected_cluster_centers(mixture, s=-1000.0)
+        assert np.isfinite(theta1) and np.isfinite(theta2)
+
+
+class TestFixedPoint:
+    def test_h_is_increasing_near_midpoint(self):
+        mixture = from_alpha_gamma(alpha=2.0, gamma=1.5)
+        midpoint = (mixture.mu1 + mixture.mu2) / 2
+        values = [h(mixture, s) for s in np.linspace(midpoint - 1, midpoint + 1, 9)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_optimal_threshold_is_root_of_h(self):
+        mixture = from_alpha_gamma(alpha=2.0, gamma=1.5)
+        threshold = optimal_threshold(mixture)
+        assert h(mixture, threshold) == pytest.approx(0.0, abs=1e-8)
+
+    def test_symmetric_mixture_threshold_is_midpoint(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=8.0, sigma1=1.0, sigma2=1.0)
+        assert optimal_threshold(mixture) == pytest.approx(4.0, abs=1e-6)
+
+    def test_threshold_negatively_correlated_with_sigma1(self):
+        # Proof of Theorem 1 point (1): with mu1, mu2, sigma2 held fixed, the
+        # optimal partition threshold s* decreases as sigma1 grows.
+        thresholds = []
+        for sigma1 in (0.5, 0.7, 0.9):
+            mixture = TwoGaussianMixture(mu1=0.0, mu2=5.0, sigma1=sigma1, sigma2=1.0)
+            thresholds.append(optimal_threshold(mixture))
+        assert thresholds[0] > thresholds[1] > thresholds[2]
+
+
+class TestAccuracies:
+    def test_high_separation_gives_high_accuracy(self):
+        mixture = from_alpha_gamma(alpha=4.0, gamma=1.5)
+        acc1, acc2 = expected_accuracies(mixture)
+        assert acc1 > 0.95 and acc2 > 0.95
+
+    def test_low_separation_gives_lower_accuracy(self):
+        far = from_alpha_gamma(alpha=4.0, gamma=1.5)
+        near = from_alpha_gamma(alpha=1.0, gamma=1.5)
+        assert sum(expected_accuracies(near)) < sum(expected_accuracies(far))
+
+    def test_explicit_threshold(self):
+        mixture = TwoGaussianMixture(mu1=0.0, mu2=10.0, sigma1=1.0, sigma2=1.0)
+        acc1, acc2 = expected_accuracies(mixture, s=5.0)
+        assert acc1 == pytest.approx(acc2)
+        assert acc1 > 0.99
+
+    def test_simulation_matches_closed_form(self):
+        mixture = from_alpha_gamma(alpha=2.5, gamma=1.5)
+        expected1, expected2 = expected_accuracies(mixture)
+        simulated1, simulated2 = simulate_kmeans_accuracy(mixture, num_samples=30_000, seed=0)
+        assert simulated1 == pytest.approx(expected1, abs=0.03)
+        assert simulated2 == pytest.approx(expected2, abs=0.03)

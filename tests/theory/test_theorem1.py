@@ -1,0 +1,82 @@
+"""Numerical verification tests for Theorem 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.theorem1 import (
+    correlation,
+    sweep_alpha,
+    sweep_gamma,
+    verify_theorem1_point1,
+    verify_theorem1_point2,
+)
+
+
+class TestCorrelationHelper:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_nan(self):
+        assert np.isnan(correlation([1, 1, 1], [1, 2, 3]))
+
+
+class TestSweeps:
+    def test_sweep_gamma_point_fields(self):
+        points = sweep_gamma(alpha=2.0, gammas=[1.1, 1.5, 1.9])
+        assert len(points) == 3
+        assert all(0.0 <= p.acc1 <= 1.0 and 0.0 <= p.acc2 <= 1.0 for p in points)
+        assert points[0].sigma1 > points[-1].sigma1  # sigma1 shrinks as gamma grows
+
+    def test_sweep_alpha_accuracy_monotone(self):
+        points = sweep_alpha(gamma=1.5, alphas=[1.0, 2.0, 3.0, 4.0])
+        accs = [p.acc2 for p in points]
+        assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:]))
+
+
+class TestTheorem1Point1:
+    def test_holds_in_closed_form(self):
+        report = verify_theorem1_point1(alpha=2.0)
+        assert report["holds"]
+        assert report["corr_acc2_sigma1"] > 0.9
+        assert report["corr_acc2_gamma"] < -0.9
+
+    def test_holds_for_other_alpha(self):
+        report = verify_theorem1_point1(alpha=1.7)
+        assert report["holds"]
+
+    def test_holds_empirically(self):
+        report = verify_theorem1_point1(
+            alpha=2.0, gammas=np.linspace(1.1, 1.9, 5), empirical=True, seed=0
+        )
+        assert report["corr_acc2_sigma1"] > 0.5
+
+    def test_alpha_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            verify_theorem1_point1(alpha=5.0)
+
+
+class TestTheorem1Point2:
+    def test_holds_in_closed_form(self):
+        report = verify_theorem1_point2(gamma=1.5)
+        assert report["holds"]
+        assert report["min_acc1"] > 0.95
+        assert report["min_acc2"] > 0.95
+
+    def test_holds_for_gamma_near_two(self):
+        report = verify_theorem1_point2(gamma=1.9)
+        assert report["holds"]
+
+    def test_holds_empirically(self):
+        report = verify_theorem1_point2(gamma=1.5, alphas=[3.5, 4.0], empirical=True, seed=1)
+        assert report["min_acc1"] > 0.9 and report["min_acc2"] > 0.9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            verify_theorem1_point2(gamma=2.5)
+        with pytest.raises(ValueError):
+            verify_theorem1_point2(gamma=1.5, alphas=[2.0, 4.0])
