@@ -10,6 +10,10 @@ the two clustering choices on the same embeddings.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 import numpy as np
 from conftest import BENCH_EXPERIMENT_SMALL, save_report
 

@@ -15,6 +15,10 @@ variant while achieving the highest separation rate.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 from conftest import BENCH_EXPERIMENT, save_report
 
 from repro.experiments.figures import build_figure1b

@@ -1,0 +1,159 @@
+"""Dense-vs-sparse backend benchmark: wall-clock and peak memory for GCN.
+
+One GCN forward+backward pass is measured on synthetic random graphs of 1k /
+10k / 50k nodes (avg degree 8, 32 features) for both propagation backends.
+Timing is best-of-``REPEATS`` warm passes (propagation cache built); peak
+memory is the tracemalloc high-water mark of a cold pass, which includes
+building the propagation matrix — the dominant dense allocation.
+
+The dense path materializes the N x N propagation matrix, so at 50k nodes it
+needs ~20 GB; it is therefore only measured directly up to 10k nodes (and at
+50k under the opt-in ``slow`` marker).  The headline 50k comparison checks
+the measured sparse pass against a quadratic extrapolation of the measured
+dense timings, alongside a hard sub-quadratic bound on the sparse peak RSS.
+
+Results are appended to ``benchmarks/results/perf_sparse_backend.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.gnn.gcn import GCNEncoder
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+
+AVG_DEGREE = 8
+NUM_FEATURES = 32
+HIDDEN_DIM = 32
+OUT_DIM = 16
+REPEATS = 3
+
+_graphs: dict = {}
+_measurements: dict = {}
+_report_lines: list = []
+
+
+def synthetic_graph(num_nodes: int, seed: int = 0) -> Graph:
+    if num_nodes not in _graphs:
+        rng = np.random.default_rng(seed)
+        num_edges = num_nodes * AVG_DEGREE // 2
+        src = rng.integers(num_nodes, size=num_edges)
+        dst = rng.integers(num_nodes, size=num_edges)
+        edge_index = symmetrize_edges(np.vstack([src, dst]))
+        _graphs[num_nodes] = Graph(
+            features=rng.normal(size=(num_nodes, NUM_FEATURES)),
+            edge_index=edge_index,
+            name=f"perf-{num_nodes}",
+        )
+    return _graphs[num_nodes]
+
+
+def _forward_backward(encoder: GCNEncoder, graph: Graph) -> None:
+    encoder.zero_grad()
+    out = encoder(graph)
+    (out * out).sum().backward()
+
+
+def measure(num_nodes: int, backend: str) -> dict:
+    """Best-of-N warm pass time and cold-pass peak memory for one backend."""
+    key = (num_nodes, backend)
+    if key in _measurements:
+        return _measurements[key]
+    graph = synthetic_graph(num_nodes)
+    encoder = GCNEncoder(
+        NUM_FEATURES,
+        hidden_dim=HIDDEN_DIM,
+        out_dim=OUT_DIM,
+        dropout=0.0,
+        backend=backend,
+        rng=np.random.default_rng(0),
+    )
+    encoder.train()
+
+    tracemalloc.start()
+    _forward_backward(encoder, graph)  # cold: includes propagation build
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        _forward_backward(encoder, graph)
+        times.append(time.perf_counter() - start)
+
+    result = {"time": min(times), "peak_bytes": peak}
+    _measurements[key] = result
+    _report_lines.append(
+        f"n={num_nodes:>6}  backend={backend:<6}  "
+        f"pass={result['time'] * 1e3:9.2f} ms  peak={peak / 1e6:10.1f} MB"
+    )
+    save_report("perf_sparse_backend", "\n".join(_report_lines))
+    return result
+
+
+@pytest.mark.parametrize("num_nodes", [1_000, 10_000])
+def test_sparse_not_slower_than_dense(num_nodes):
+    sparse = measure(num_nodes, "sparse")
+    dense = measure(num_nodes, "dense")
+    assert sparse["time"] <= dense["time"]
+    assert sparse["peak_bytes"] <= dense["peak_bytes"]
+
+
+def test_speedup_at_10k_nodes_at_least_5x():
+    sparse = measure(10_000, "sparse")
+    dense = measure(10_000, "dense")
+    speedup = dense["time"] / sparse["time"]
+    _report_lines.append(f"speedup @10k: {speedup:.1f}x")
+    save_report("perf_sparse_backend", "\n".join(_report_lines))
+    assert speedup >= 5.0
+
+
+def test_dense_memory_scales_quadratically():
+    dense_1k = measure(1_000, "dense")
+    dense_10k = measure(10_000, "dense")
+    # 10x the nodes -> ~100x the propagation matrix; allow generous slack.
+    assert dense_10k["peak_bytes"] >= 30 * dense_1k["peak_bytes"]
+
+
+def test_large_50k_sparse_is_subquadratic_and_beats_extrapolated_dense():
+    """The 50k-node headline: sparse measured, dense extrapolated.
+
+    The dense pass at 50k nodes would allocate a ~20 GB propagation matrix,
+    so its cost is extrapolated quadratically from the measured 1k and 10k
+    passes (both time and memory scale as N^2 for the dense backend; see
+    ``test_dense_memory_scales_quadratically``).  The direct measurement is
+    available via ``-m slow`` (test below).
+    """
+    sparse = measure(50_000, "sparse")
+    dense_10k = measure(10_000, "dense")
+
+    dense_matrix_bytes = 50_000 * 50_000 * 8
+    # Sub-quadratic memory: a small fraction of the dense N^2 matrix alone.
+    assert sparse["peak_bytes"] < 0.05 * dense_matrix_bytes
+
+    dense_time_extrapolated = dense_10k["time"] * (50_000 / 10_000) ** 2
+    speedup = dense_time_extrapolated / sparse["time"]
+    _report_lines.append(
+        f"extrapolated dense @50k: {dense_time_extrapolated * 1e3:.0f} ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    save_report("perf_sparse_backend", "\n".join(_report_lines))
+    assert speedup >= 5.0
+
+
+@pytest.mark.slow
+def test_large_50k_dense_measured_speedup():
+    """Direct 50k dense measurement (~20 GB, minutes); opt in with -m slow."""
+    sparse = measure(50_000, "sparse")
+    dense = measure(50_000, "dense")
+    speedup = dense["time"] / sparse["time"]
+    _report_lines.append(f"measured speedup @50k: {speedup:.1f}x")
+    save_report("perf_sparse_backend", "\n".join(_report_lines))
+    assert speedup >= 5.0
+    assert sparse["peak_bytes"] < 0.05 * dense["peak_bytes"]

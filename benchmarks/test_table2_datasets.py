@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 from conftest import save_report
 
 from repro.experiments.tables import build_table2

@@ -16,6 +16,10 @@ and the reduced budget in ``conftest.BENCH_EXPERIMENT``.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 import numpy as np
 from conftest import BENCH_EXPERIMENT, save_report
 

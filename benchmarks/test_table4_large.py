@@ -11,6 +11,10 @@ best of the three baselines on the majority of the large profiles.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 from conftest import BENCH_EXPERIMENT_LARGE, save_report
 
 from repro.experiments.tables import TABLE4_DATASETS, TABLE4_METHODS, build_table4

@@ -11,6 +11,10 @@ checks the two robust orderings (full vs CE-only, full vs w/o PL on average).
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 import numpy as np
 from conftest import BENCH_EXPERIMENT_SMALL, save_report
 

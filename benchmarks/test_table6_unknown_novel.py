@@ -13,6 +13,10 @@ bound).
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 from conftest import BENCH_EXPERIMENT_SMALL, save_report
 
 from repro.experiments.tables import build_table6

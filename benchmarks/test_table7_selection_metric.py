@@ -9,6 +9,10 @@ metrics for the same method.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 import numpy as np
 from conftest import BENCH_EXPERIMENT_SMALL, save_report
 

@@ -14,6 +14,10 @@ and with empirical K-Means runs on sampled data.
 
 from __future__ import annotations
 
+import pytest
+
+#: Full paper-reproduction benchmarks train many models; opt in with -m slow.
+pytestmark = pytest.mark.slow
 import numpy as np
 from conftest import save_report
 

@@ -12,7 +12,13 @@ from typing import Optional
 
 import numpy as np
 
-from .kmeans import KMeansResult, _pairwise_sq_distances, kmeans_plus_plus_init
+from .kmeans import (
+    KMeansResult,
+    _assign_labels,
+    _cluster_sums,
+    _pairwise_sq_distances,
+    kmeans_plus_plus_init,
+)
 
 
 class SemiSupervisedKMeans:
@@ -24,11 +30,13 @@ class SemiSupervisedKMeans:
     nearest of all clusters, exactly as in GCD.
     """
 
-    def __init__(self, num_clusters: int, max_iter: int = 100, tol: float = 1e-6, seed: int = 0):
+    def __init__(self, num_clusters: int, max_iter: int = 100, tol: float = 1e-6,
+                 seed: int = 0, chunk_size: Optional[int] = None):
         self.num_clusters = num_clusters
         self.max_iter = max_iter
         self.tol = tol
         self.seed = seed
+        self.chunk_size = chunk_size
 
     def fit(
         self,
@@ -75,20 +83,23 @@ class SemiSupervisedKMeans:
         labels = np.zeros(data.shape[0], dtype=np.int64)
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
-            distances = _pairwise_sq_distances(data, centers)
-            labels = distances.argmin(axis=1)
+            labels, _ = _assign_labels(data, centers, self.chunk_size)
             labels[labeled_indices] = pinned
+            sums, counts = _cluster_sums(data, labels, self.num_clusters)
             new_centers = centers.copy()
-            for cluster in range(self.num_clusters):
-                members = data[labels == cluster]
-                if members.shape[0]:
-                    new_centers[cluster] = members.mean(axis=0)
+            nonempty = counts > 0
+            new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
             shift = np.linalg.norm(new_centers - centers)
             centers = new_centers
             if shift <= self.tol:
                 break
-        distances = _pairwise_sq_distances(data, centers)
-        labels = distances.argmin(axis=1)
+        labels, assigned_sq = _assign_labels(data, centers, self.chunk_size)
         labels[labeled_indices] = pinned
-        inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+        if labeled_indices.size:
+            # Pinned samples pay the distance to their class cluster, not
+            # to the nearest center.
+            assigned_sq[labeled_indices] = _pairwise_sq_distances(
+                data[labeled_indices], centers
+            )[np.arange(labeled_indices.shape[0]), pinned]
+        inertia = float(assigned_sq.sum())
         return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)

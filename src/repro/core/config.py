@@ -8,13 +8,19 @@ from typing import Optional
 
 @dataclass(frozen=True)
 class EncoderConfig:
-    """GNN encoder hyper-parameters (paper Section VII defaults)."""
+    """GNN encoder hyper-parameters (paper Section VII defaults).
+
+    ``backend`` picks the message-passing implementation: ``"sparse"``
+    (default; CSR propagation for GCN, vectorized edge-list attention for
+    GAT) or ``"dense"`` (O(N^2) reference used by the parity tests).
+    """
 
     kind: str = "gat"
     hidden_dim: int = 128
     out_dim: int = 64
     num_heads: int = 8
     dropout: float = 0.5
+    backend: str = "sparse"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,14 @@
+"""Message-passing backend registry shared by every GNN encoder."""
+
+from __future__ import annotations
+
+#: Valid values for the encoder ``backend`` argument: ``"sparse"`` runs the
+#: edge-list / CSR propagation fast path, ``"dense"`` the O(N^2) reference.
+BACKENDS = ("sparse", "dense")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend

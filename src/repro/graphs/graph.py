@@ -38,6 +38,7 @@ class Graph:
     labels: Optional[np.ndarray] = None
     name: str = ""
     _adjacency_cache: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+    _propagation_cache: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         self.features = np.asarray(self.features, dtype=np.float64)
@@ -88,6 +89,20 @@ class Graph:
                 (data, (src, dst)), shape=(self.num_nodes, self.num_nodes)
             )
         return self._adjacency_cache
+
+    def propagation(self) -> sp.csr_matrix:
+        """Symmetric normalized propagation matrix ``D^{-1/2}(A+I)D^{-1/2}``.
+
+        Cached per graph so that every encoder sharing this graph reuses the
+        same CSR matrix instead of renormalizing the adjacency.  The matrix
+        is sparse by construction — densify explicitly (``.toarray()``) only
+        for the dense reference backend.
+        """
+        if self._propagation_cache is None:
+            from .utils import normalized_adjacency
+
+            self._propagation_cache = normalized_adjacency(self)
+        return self._propagation_cache
 
     def degrees(self) -> np.ndarray:
         """Out-degree of every node based on the stored directed edges."""

@@ -37,7 +37,11 @@ def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
 
 
 def normalized_adjacency(graph: Graph, add_loops: bool = True) -> sp.csr_matrix:
-    """Symmetric normalized adjacency ``D^{-1/2} (A + I) D^{-1/2}`` used by GCN."""
+    """Symmetric normalized adjacency ``D^{-1/2} (A + I) D^{-1/2}`` used by GCN.
+
+    Returns a ``scipy.sparse.csr_matrix`` (O(nnz) memory); callers that need
+    the O(N^2) dense reference densify explicitly with ``.toarray()``.
+    """
     edge_index = graph.edge_index
     if add_loops:
         edge_index = add_self_loops(edge_index, graph.num_nodes)
@@ -49,7 +53,7 @@ def normalized_adjacency(graph: Graph, add_loops: bool = True) -> sp.csr_matrix:
     nonzero = degree > 0
     inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
     d_mat = sp.diags(inv_sqrt)
-    return d_mat @ adjacency @ d_mat
+    return (d_mat @ adjacency @ d_mat).tocsr()
 
 
 def edge_homophily(graph: Graph) -> float:

@@ -10,11 +10,12 @@ from . import functional
 from .init import glorot_normal, glorot_uniform, zeros_init
 from .layers import ELU, Dropout, Linear, Module, Parameter, ReLU, Sequential
 from .optim import SGD, Adam, Optimizer
-from .tensor import Tensor, cat, is_grad_enabled, no_grad, ones, stack, zeros
+from .tensor import Tensor, cat, is_grad_enabled, no_grad, ones, sparse_matmul, stack, zeros
 
 __all__ = [
     "Tensor",
     "cat",
+    "sparse_matmul",
     "stack",
     "zeros",
     "ones",

@@ -13,7 +13,19 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, sparse_matmul
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "l2_normalize",
+    "dropout",
+    "segment_softmax",
+    "pairwise_cosine_similarity",
+    "sparse_matmul",
+]
 
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
@@ -61,9 +73,12 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean binary cross-entropy over raw ``logits`` against 0/1 ``targets``."""
     targets_t = Tensor(np.asarray(targets, dtype=np.float64))
-    # log(1 + exp(-|x|)) + max(x, 0) - x * y  (stable formulation)
-    abs_neg = Tensor(-np.abs(logits.data))
-    log_term = (abs_neg.exp() + 1.0).log()
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y  (stable formulation).  |x| is
+    # built from relu ops so the log term stays differentiable; detaching it
+    # would silently drop the sigmoid part of the gradient (the analytic
+    # gradient sigmoid(x) - y is verified by tests/nn/test_gradcheck.py).
+    abs_x = logits.relu() + (-logits).relu()
+    log_term = ((-abs_x).exp() + 1.0).log()
     relu_term = logits.relu()
     loss = log_term + relu_term - logits * targets_t
     return loss.mean()

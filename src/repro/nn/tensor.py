@@ -21,6 +21,7 @@ import contextlib
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
@@ -247,12 +248,35 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product with numpy ``@`` broadcasting over batch dimensions.
+
+        Supports the classic 2-D case as well as stacked operands such as
+        ``(N, F) @ (H, F, O) -> (H, N, O)``; gradients for broadcast batch
+        dimensions are summed back to the operand's shape.
+        """
         other_t = other if isinstance(other, Tensor) else Tensor(other)
+        if self.data.ndim < 2 or other_t.data.ndim < 2:
+            raise ValueError(
+                "matmul requires operands with ndim >= 2; reshape vectors to "
+                "(n, 1) / (1, n) explicitly"
+            )
         out_data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad @ other_t.data.T)
-            other_t._accumulate(self.data.T @ grad)
+            # Skip the (potentially large) gradient product for constant
+            # operands — e.g. a dense propagation matrix multiplied against a
+            # projected feature tensor must not allocate an N x N gradient.
+            a, b = self.data, other_t.data
+            if a.ndim == 2 and b.ndim == 2:
+                if self.requires_grad:
+                    self._accumulate(grad @ b.T)
+                if other_t.requires_grad:
+                    other_t._accumulate(a.T @ grad)
+                return
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape))
+            if other_t.requires_grad:
+                other_t._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape))
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -476,6 +500,35 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(piece)
 
     return Tensor._make(out_data, tensors, backward)
+
+
+def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Product ``matrix @ dense`` where ``matrix`` is a sparse constant.
+
+    ``matrix`` is a scipy sparse matrix (converted to CSR once per call) that
+    does not receive gradients — the typical use is the fixed propagation
+    matrix ``D^{-1/2}(A+I)D^{-1/2}`` of a GCN.  The backward rule is the
+    transpose product ``grad_dense = matrix.T @ grad``, which scipy evaluates
+    without ever densifying, keeping one forward/backward pass at
+    O(nnz * out_features) time and O(N * out_features + nnz) memory instead
+    of the O(N^2) cost of a densified propagation matrix.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(
+            f"sparse_matmul expects a scipy sparse matrix, got {type(matrix).__name__}; "
+            "use Tensor.matmul for dense operands"
+        )
+    dense_t = dense if isinstance(dense, Tensor) else Tensor(dense)
+    if dense_t.ndim != 2:
+        raise ValueError("sparse_matmul expects a 2-D dense operand")
+    csr = matrix.tocsr()
+    out_data = csr @ dense_t.data
+
+    def backward(grad: np.ndarray) -> None:
+        # ``csr.T`` is a free CSC view; scipy multiplies it directly.
+        dense_t._accumulate(csr.T @ grad)
+
+    return Tensor._make(out_data, (dense_t,), backward)
 
 
 def zeros(shape: Sequence[int], requires_grad: bool = False) -> Tensor:

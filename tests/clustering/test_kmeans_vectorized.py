@@ -1,0 +1,155 @@
+"""Same-seed parity of the vectorized K-Means against the pre-vectorization
+reference implementations.
+
+The reference functions below are verbatim ports of the original Python
+per-cluster loops (Lloyd update, Sculley mini-batch update).  With the same
+seed the vectorized paths must reproduce identical assignments and matching
+centers; the chunked assignment step must also be invariant to the chunk
+size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import (
+    KMeans,
+    MiniBatchKMeans,
+    _assign_labels,
+    _pairwise_sq_distances,
+    kmeans_plus_plus_init,
+)
+
+
+def blobs(num_samples=300, num_clusters=5, dim=8, seed=0, spread=0.4):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(num_clusters, dim))
+    assignments = rng.integers(num_clusters, size=num_samples)
+    return centers[assignments] + rng.normal(scale=spread, size=(num_samples, dim))
+
+
+def reference_lloyd(data, centers, num_clusters, max_iter=100, tol=1e-6):
+    """The original per-cluster Python loop (pre-vectorization)."""
+    labels = np.zeros(data.shape[0], dtype=np.int64)
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        distances = _pairwise_sq_distances(data, centers)
+        labels = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for cluster in range(num_clusters):
+            members = data[labels == cluster]
+            if members.shape[0] > 0:
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                new_centers[cluster] = data[farthest]
+        shift = np.linalg.norm(new_centers - centers)
+        centers = new_centers
+        if shift <= tol:
+            break
+    distances = _pairwise_sq_distances(data, centers)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(data.shape[0]), labels].sum())
+    return labels, centers, inertia, iteration
+
+
+def reference_minibatch(data, num_clusters, batch_size, max_iter, seed):
+    """The original Sculley update looping over np.unique(assignments)."""
+    rng = np.random.default_rng(seed)
+    centers = kmeans_plus_plus_init(data, num_clusters, rng)
+    counts = np.zeros(num_clusters)
+    for _ in range(1, max_iter + 1):
+        batch_idx = rng.choice(data.shape[0], size=min(batch_size, data.shape[0]),
+                               replace=False)
+        batch = data[batch_idx]
+        assignments = _pairwise_sq_distances(batch, centers).argmin(axis=1)
+        for cluster in np.unique(assignments):
+            members = batch[assignments == cluster]
+            counts[cluster] += members.shape[0]
+            learning_rate = members.shape[0] / counts[cluster]
+            centers[cluster] = (1.0 - learning_rate) * centers[cluster] + \
+                learning_rate * members.mean(axis=0)
+    distances = _pairwise_sq_distances(data, centers)
+    labels = distances.argmin(axis=1)
+    return labels, centers
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_lloyd_matches_reference(seed):
+    data = blobs(seed=seed)
+    rng = np.random.default_rng(seed)
+    centers0 = kmeans_plus_plus_init(data, 5, rng)
+
+    ref_labels, ref_centers, ref_inertia, ref_iters = reference_lloyd(data, centers0.copy(), 5)
+    result = KMeans(5, seed=seed)._lloyd(data, centers0.copy())
+
+    np.testing.assert_array_equal(result.labels, ref_labels)
+    np.testing.assert_allclose(result.centers, ref_centers, atol=1e-10)
+    assert result.n_iter == ref_iters
+    assert result.inertia == pytest.approx(ref_inertia, rel=1e-12)
+
+
+def test_lloyd_reseeds_empty_clusters_like_reference():
+    # More clusters than natural blobs forces empty clusters during Lloyd.
+    data = blobs(num_samples=40, num_clusters=2, seed=3)
+    centers0 = np.vstack([data[:3], data[0] + 50.0])  # one unreachable center
+
+    ref_labels, ref_centers, _, _ = reference_lloyd(data, centers0.copy(), 4)
+    result = KMeans(4, seed=0)._lloyd(data, centers0.copy())
+
+    np.testing.assert_array_equal(result.labels, ref_labels)
+    np.testing.assert_allclose(result.centers, ref_centers, atol=1e-10)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_minibatch_matches_reference(seed):
+    data = blobs(num_samples=500, seed=seed)
+    ref_labels, ref_centers = reference_minibatch(
+        data, num_clusters=5, batch_size=64, max_iter=30, seed=seed
+    )
+    result = MiniBatchKMeans(5, batch_size=64, max_iter=30, seed=seed).fit(data)
+
+    np.testing.assert_array_equal(result.labels, ref_labels)
+    np.testing.assert_allclose(result.centers, ref_centers, atol=1e-10)
+
+
+@pytest.mark.parametrize("chunk_size", [7, 64, 10_000])
+def test_chunked_assignment_invariant_to_chunk_size(chunk_size):
+    data = blobs(num_samples=200, seed=4)
+    centers = kmeans_plus_plus_init(data, 6, np.random.default_rng(4))
+
+    full = _pairwise_sq_distances(data, centers)
+    expected_labels = full.argmin(axis=1)
+    labels, min_sq = _assign_labels(data, centers, chunk_size)
+
+    np.testing.assert_array_equal(labels, expected_labels)
+    np.testing.assert_allclose(
+        min_sq, full[np.arange(data.shape[0]), expected_labels], atol=1e-12
+    )
+
+
+@pytest.mark.parametrize("chunk_size", [0, -1])
+def test_nonpositive_chunk_size_rejected(chunk_size):
+    data = blobs(num_samples=50, seed=7)
+    with pytest.raises(ValueError, match="chunk_size"):
+        KMeans(3, seed=0, chunk_size=chunk_size).fit(data)
+
+
+def test_same_seed_fit_is_deterministic_across_chunk_sizes():
+    data = blobs(num_samples=400, seed=5)
+    small = KMeans(5, seed=5, chunk_size=17).fit(data)
+    large = KMeans(5, seed=5, chunk_size=100_000).fit(data)
+    np.testing.assert_array_equal(small.labels, large.labels)
+    np.testing.assert_allclose(small.centers, large.centers, atol=1e-10)
+
+
+def test_semi_kmeans_pins_labels_after_vectorization():
+    from repro.clustering.semi_kmeans import SemiSupervisedKMeans
+
+    data = blobs(num_samples=150, num_clusters=3, seed=6)
+    labeled_indices = np.arange(0, 30)
+    labeled_classes = np.repeat(np.arange(3), 10)
+    result = SemiSupervisedKMeans(4, seed=6).fit(data, labeled_indices, labeled_classes)
+    np.testing.assert_array_equal(result.labels[labeled_indices], labeled_classes)
+    assert result.centers.shape == (4, data.shape[1])
