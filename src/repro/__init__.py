@@ -18,18 +18,20 @@ organised as:
 * :mod:`repro.baselines` — every baseline from the paper's evaluation.
 * :mod:`repro.theory` — the two-Gaussian K-Means model and Theorem 1 checks.
 * :mod:`repro.experiments` — runners and builders for every table and figure.
+* :mod:`repro.api` — estimator-style facade (``OpenWorldClassifier``) with
+  versioned save/load checkpoints and resumable training.
 
 Quickstart::
 
-    from repro.datasets import load_open_world_dataset
-    from repro.core import OpenIMAConfig, train_openima
+    from repro.api import OpenWorldClassifier
 
-    dataset = load_open_world_dataset("coauthor-cs", seed=0, scale=0.3)
-    trainer = train_openima(dataset, OpenIMAConfig())
-    print(trainer.evaluate())
+    clf = OpenWorldClassifier("openima")
+    clf.fit("coauthor-cs", scale=0.3)
+    print(clf.evaluate())
 """
 
 from . import (
+    api,
     assignment,
     baselines,
     clustering,
@@ -42,12 +44,14 @@ from . import (
     nn,
     theory,
 )
+from .api import OpenWorldClassifier
 from .core import OpenIMAConfig, OpenIMATrainer, train_openima
 from .datasets import load_open_world_dataset
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "nn",
     "graphs",
     "datasets",
@@ -59,6 +63,7 @@ __all__ = [
     "baselines",
     "theory",
     "experiments",
+    "OpenWorldClassifier",
     "OpenIMAConfig",
     "OpenIMATrainer",
     "train_openima",

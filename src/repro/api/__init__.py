@@ -1,0 +1,29 @@
+"""Public estimator-style API: train, evaluate, save, and resume any method.
+
+The two entry points are:
+
+* :class:`OpenWorldClassifier` — scikit-learn-shaped facade over the unified
+  method registry (``fit`` / ``predict`` / ``evaluate`` / ``embed`` /
+  ``save`` / ``load``).
+* :mod:`repro.api.checkpoint` — the underlying versioned checkpoint format
+  (npz weights + JSON manifest) for power users operating on raw trainers.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_trainer_checkpoint,
+    read_manifest,
+    save_trainer_checkpoint,
+)
+from .classifier import NotFittedError, OpenWorldClassifier
+
+__all__ = [
+    "OpenWorldClassifier",
+    "NotFittedError",
+    "CheckpointError",
+    "CHECKPOINT_FORMAT_VERSION",
+    "save_trainer_checkpoint",
+    "load_trainer_checkpoint",
+    "read_manifest",
+]

@@ -1,8 +1,12 @@
 """Baseline methods compared against OpenIMA in the paper's evaluation.
 
-Every baseline is a :class:`~repro.core.trainer.GraphTrainer` subclass; the
-:func:`build_baseline` factory maps the method names used in the paper's
-tables to trainer classes so the experiment harness can iterate over them.
+Every baseline is a :class:`~repro.core.trainer.GraphTrainer` subclass that
+registers itself (with metadata) in the unified method registry
+:data:`repro.core.registry.METHODS` via the ``@register_method`` decorator.
+The legacy :data:`BASELINE_REGISTRY` / :func:`build_baseline` API is kept as
+a thin view over that registry for backwards compatibility — OpenIMA and the
+baselines are all constructed the same way now
+(``repro.core.registry.build_method``).
 """
 
 from __future__ import annotations
@@ -10,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Type
 
 from ..core.config import TrainerConfig
+from ..core.registry import METHODS
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from .oodgat import OODGATTrainer
@@ -20,18 +25,13 @@ from .orca import ORCATrainer, ORCAZMTrainer
 from .simgcd import SimGCDTrainer
 from .two_stage import InfoNCESupConCETrainer, InfoNCESupConTrainer, InfoNCETrainer
 
+#: Compatibility view over the unified registry (everything but OpenIMA).
+#: The imports above ran every ``@register_method`` decorator, so the specs
+#: are present without triggering the registry's lazy self-import.
 BASELINE_REGISTRY: Dict[str, Type[GraphTrainer]] = {
-    "oodgat": OODGATTrainer,
-    "openwgl": OpenWGLTrainer,
-    "orca-zm": ORCAZMTrainer,
-    "orca": ORCATrainer,
-    "simgcd": SimGCDTrainer,
-    "openldn": OpenLDNTrainer,
-    "opencon": OpenConTrainer,
-    "opencon-two-stage": OpenConTwoStageTrainer,
-    "infonce": InfoNCETrainer,
-    "infonce+supcon": InfoNCESupConTrainer,
-    "infonce+supcon+ce": InfoNCESupConCETrainer,
+    spec.name: spec.trainer_cls
+    for spec in METHODS.specs()
+    if spec.name != "openima"
 }
 
 
@@ -47,8 +47,8 @@ def build_baseline(name: str, dataset: OpenWorldDataset,
     key = name.lower()
     if key not in BASELINE_REGISTRY:
         raise KeyError(f"unknown baseline {name!r}; available: {available_baselines()}")
-    trainer_cls = BASELINE_REGISTRY[key]
-    return trainer_cls(dataset, config, num_novel_classes=num_novel_classes, **kwargs)
+    return METHODS.build(key, dataset, config=config,
+                         num_novel_classes=num_novel_classes, **kwargs)
 
 
 __all__ = [

@@ -19,12 +19,19 @@ from ..clustering.kmeans import KMeans
 from ..core.config import TrainerConfig
 from ..core.inference import InferenceResult, two_stage_predict
 from ..core.losses import cross_entropy_loss
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "oodgat",
+    end_to_end=True,
+    default_epochs=100,
+    description="Entropy-separated OOD detection + clustering of detected outliers",
+)
 class OODGATTrainer(GraphTrainer):
     """OODGAT†: entropy-separated C+1 classifier + post-clustering of OOD nodes."""
 

@@ -21,11 +21,18 @@ import numpy as np
 from ..core.config import TrainerConfig
 from ..core.inference import InferenceResult, head_predict, two_stage_predict
 from ..core.losses import cross_entropy_loss, supervised_contrastive_loss
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "opencon",
+    end_to_end=True,
+    default_epochs=100,
+    description="Prototype-based contrastive learning with OOD split",
+)
 class OpenConTrainer(GraphTrainer):
     """OpenCon: prototype-based pseudo labels + contrastive learning + CE."""
 
@@ -42,6 +49,21 @@ class OpenConTrainer(GraphTrainer):
         self.supervised_weight = supervised_weight
         self.prototypes = np.zeros((self.label_space.num_total, config.encoder.out_dim))
         self._prototypes_initialized = False
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (prototypes are EMA state carried across epochs)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict:
+        return {
+            "prototypes": self.prototypes.copy(),
+            "prototypes_initialized": np.array(int(self._prototypes_initialized)),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        if "prototypes" in state:
+            self.prototypes = np.asarray(state["prototypes"], dtype=np.float64).copy()
+        if "prototypes_initialized" in state:
+            self._prototypes_initialized = bool(int(state["prototypes_initialized"]))
 
     # ------------------------------------------------------------------
     # Prototype maintenance
@@ -137,6 +159,12 @@ class OpenConTrainer(GraphTrainer):
         )
 
 
+@register_method(
+    "opencon-two-stage",
+    end_to_end=True,
+    default_epochs=100,
+    description="OpenCon trained end-to-end but evaluated with two-stage inference",
+)
 class OpenConTwoStageTrainer(OpenConTrainer):
     """OpenCon‡: identical training, two-stage (K-Means) prediction."""
 

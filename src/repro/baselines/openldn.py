@@ -23,12 +23,19 @@ from ..core.losses import (
     cross_entropy_loss,
     pairwise_similarity_loss,
 )
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "openldn",
+    end_to_end=True,
+    default_epochs=100,
+    description="Pairwise-similarity pseudo labels with bi-level style weighting",
+)
 class OpenLDNTrainer(GraphTrainer):
     """OpenLDN with the GAT encoder and classifier-generated pseudo labels."""
 

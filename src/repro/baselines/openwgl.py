@@ -21,12 +21,19 @@ from ..clustering.kmeans import KMeans
 from ..core.config import TrainerConfig
 from ..core.inference import InferenceResult, two_stage_predict
 from ..core.losses import cross_entropy_loss
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "openwgl",
+    end_to_end=True,
+    default_epochs=100,
+    description="Uncertain-node rejection via multi-sample dropout confidence",
+)
 class OpenWGLTrainer(GraphTrainer):
     """OpenWGL†: uncertainty-aware seen-class classifier + OOD post-clustering."""
 

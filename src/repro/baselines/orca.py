@@ -29,12 +29,19 @@ from ..core.losses import (
     margin_cross_entropy_loss,
     pairwise_similarity_loss,
 )
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "orca",
+    end_to_end=True,
+    default_epochs=50,
+    description="Uncertainty-adaptive margin + pairwise objective (ICLR 2022)",
+)
 class ORCATrainer(GraphTrainer):
     """ORCA with the uncertainty-adaptive margin."""
 
@@ -115,6 +122,12 @@ class ORCATrainer(GraphTrainer):
         )
 
 
+@register_method(
+    "orca-zm",
+    end_to_end=True,
+    default_epochs=50,
+    description="ORCA without the uncertainty-adaptive margin (zero margin)",
+)
 class ORCAZMTrainer(ORCATrainer):
     """ORCA with the margin mechanism removed (Zero Margin)."""
 

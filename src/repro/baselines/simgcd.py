@@ -22,12 +22,19 @@ from ..core.losses import (
     self_distillation_loss,
     supervised_contrastive_loss,
 )
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 from ..datasets.splits import OpenWorldDataset
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
 
+@register_method(
+    "simgcd",
+    end_to_end=True,
+    default_epochs=50,
+    description="Self-distillation with entropy regularization (GCD family)",
+)
 class SimGCDTrainer(GraphTrainer):
     """SimGCD with the GAT encoder in place of the pre-trained ViT."""
 

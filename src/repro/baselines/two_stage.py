@@ -17,9 +17,16 @@ from ..datasets.splits import OpenWorldDataset
 from ..nn.tensor import Tensor
 from ..core.config import TrainerConfig
 from ..core.losses import cross_entropy_loss, supervised_contrastive_loss
+from ..core.registry import register_method
 from ..core.trainer import GraphTrainer
 
 
+@register_method(
+    "infonce",
+    end_to_end=False,
+    default_epochs=20,
+    description="Unsupervised InfoNCE over dropout views",
+)
 class InfoNCETrainer(GraphTrainer):
     """Unsupervised InfoNCE on every node (labels ignored)."""
 
@@ -54,6 +61,12 @@ class InfoNCETrainer(GraphTrainer):
         return loss
 
 
+@register_method(
+    "infonce+supcon",
+    end_to_end=False,
+    default_epochs=20,
+    description="InfoNCE plus supervised-contrastive positives on labeled nodes",
+)
 class InfoNCESupConTrainer(InfoNCETrainer):
     """InfoNCE for all nodes plus SupCon positives on the labeled nodes."""
 
@@ -62,6 +75,12 @@ class InfoNCESupConTrainer(InfoNCETrainer):
     use_cross_entropy = False
 
 
+@register_method(
+    "infonce+supcon+ce",
+    end_to_end=False,
+    default_epochs=20,
+    description="InfoNCE + SupCon + cross-entropy on labeled nodes",
+)
 class InfoNCESupConCETrainer(InfoNCETrainer):
     """InfoNCE + SupCon + cross-entropy on the labeled nodes."""
 

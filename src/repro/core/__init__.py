@@ -1,6 +1,22 @@
-"""OpenIMA core: configuration, losses, pseudo labels, trainer, inference."""
+"""OpenIMA core: configuration, losses, pseudo labels, trainer, inference,
+the unified method registry, and the training callback system."""
 
-from .config import EncoderConfig, OpenIMAConfig, OptimizerConfig, TrainerConfig, fast_config
+from .callbacks import (
+    Callback,
+    CallbackList,
+    EarlyStopping,
+    EvaluationCallback,
+    LossLogger,
+    PeriodicCheckpoint,
+)
+from .config import (
+    EncoderConfig,
+    OpenIMAConfig,
+    OptimizerConfig,
+    SerializableConfig,
+    TrainerConfig,
+    fast_config,
+)
 from .inference import InferenceResult, head_predict, two_stage_predict
 from .labels import LabelSpace
 from .losses import (
@@ -16,6 +32,15 @@ from .losses import (
 )
 from .openima import OpenIMATrainer, train_openima
 from .pseudo_labels import PseudoLabels, generate_pseudo_labels
+from .registry import (
+    METHODS,
+    MethodRegistry,
+    MethodSpec,
+    available_methods,
+    build_method,
+    get_method,
+    register_method,
+)
 from .trainer import GraphTrainer, TrainingHistory
 
 __all__ = [
@@ -23,7 +48,21 @@ __all__ = [
     "OptimizerConfig",
     "TrainerConfig",
     "OpenIMAConfig",
+    "SerializableConfig",
     "fast_config",
+    "METHODS",
+    "MethodRegistry",
+    "MethodSpec",
+    "register_method",
+    "available_methods",
+    "get_method",
+    "build_method",
+    "Callback",
+    "CallbackList",
+    "LossLogger",
+    "EarlyStopping",
+    "EvaluationCallback",
+    "PeriodicCheckpoint",
     "LabelSpace",
     "supervised_contrastive_loss",
     "info_nce_loss",

@@ -1,13 +1,86 @@
-"""Configuration objects for OpenIMA and the shared trainer infrastructure."""
+"""Configuration objects for OpenIMA and the shared trainer infrastructure.
+
+Every config dataclass serializes to plain JSON-compatible dicts through
+:class:`SerializableConfig` (``to_dict`` / ``from_dict`` / ``to_json`` /
+``from_json``).  ``from_dict`` validates keys strictly: unknown keys raise a
+``ValueError`` naming the valid fields, so a typo in a checkpoint manifest or
+a ``--set`` override fails loudly instead of being silently dropped.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional, get_type_hints
+
+
+class SerializableConfig:
+    """Mixin adding strict dict/JSON round-tripping to config dataclasses.
+
+    Nested config fields (e.g. ``TrainerConfig.encoder``) are recursed into,
+    so ``from_dict`` accepts either a nested dict or an already-constructed
+    config object for those fields.
+    """
+
+    @classmethod
+    def _field_types(cls) -> Dict[str, Any]:
+        return get_type_hints(cls)
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (nested configs become nested dicts)."""
+        result: dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, SerializableConfig):
+                value = value.to_dict()
+            result[f.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SerializableConfig":
+        """Build a config from a (possibly partial) dict.
+
+        Missing keys fall back to the dataclass defaults; unknown keys raise
+        ``ValueError``.
+        """
+        if not isinstance(data, Mapping):
+            raise TypeError(f"{cls.__name__}.from_dict expects a mapping, got "
+                            f"{type(data).__name__}")
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} keys {unknown}; valid keys: {sorted(valid)}"
+            )
+        types = cls._field_types()
+        kwargs: dict = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            field_type = types.get(f.name)
+            if (isinstance(field_type, type)
+                    and issubclass(field_type, SerializableConfig)
+                    and isinstance(value, Mapping)):
+                value = field_type.from_dict(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SerializableConfig":
+        return cls.from_dict(json.loads(text))
+
+    def with_updates(self, **kwargs):
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
 
 
 @dataclass(frozen=True)
-class EncoderConfig:
+class EncoderConfig(SerializableConfig):
     """GNN encoder hyper-parameters (paper Section VII defaults).
 
     ``backend`` picks the message-passing implementation: ``"sparse"``
@@ -24,7 +97,7 @@ class EncoderConfig:
 
 
 @dataclass(frozen=True)
-class OptimizerConfig:
+class OptimizerConfig(SerializableConfig):
     """Adam optimizer settings (paper: Adam, weight decay 1e-4)."""
 
     learning_rate: float = 1e-3
@@ -32,7 +105,7 @@ class OptimizerConfig:
 
 
 @dataclass(frozen=True)
-class TrainerConfig:
+class TrainerConfig(SerializableConfig):
     """Shared training-loop settings for all methods.
 
     The defaults follow the paper's Section VII; benchmarks shrink
@@ -50,13 +123,9 @@ class TrainerConfig:
     kmeans_batch_size: int = 1024
     eval_every: int = 0  # 0 disables intermediate evaluation
 
-    def with_updates(self, **kwargs) -> "TrainerConfig":
-        """Return a copy with the given fields replaced."""
-        return replace(self, **kwargs)
-
 
 @dataclass(frozen=True)
-class OpenIMAConfig:
+class OpenIMAConfig(SerializableConfig):
     """OpenIMA-specific hyper-parameters (Section IV-C and VII).
 
     Attributes
@@ -97,19 +166,17 @@ class OpenIMAConfig:
     pairwise_loss_weight: float = 1.0
     num_novel_classes: Optional[int] = None
 
-    def with_updates(self, **kwargs) -> "OpenIMAConfig":
-        """Return a copy with the given fields replaced."""
-        return replace(self, **kwargs)
-
 
 def fast_config(max_epochs: int = 8, seed: int = 0, encoder_kind: str = "gcn",
-                batch_size: int = 512) -> TrainerConfig:
-    """A small configuration used by tests and the benchmark harness."""
+                batch_size: int = 512, backend: str = "sparse",
+                eval_every: int = 0) -> TrainerConfig:
+    """A small configuration used by tests, the CLI, and the benchmark harness."""
     return TrainerConfig(
         encoder=EncoderConfig(kind=encoder_kind, hidden_dim=32, out_dim=16, num_heads=2,
-                              dropout=0.3),
+                              dropout=0.3, backend=backend),
         optimizer=OptimizerConfig(learning_rate=5e-3, weight_decay=1e-4),
         max_epochs=max_epochs,
         batch_size=batch_size,
         seed=seed,
+        eval_every=eval_every,
     )

@@ -21,11 +21,13 @@ from typing import Optional
 
 import numpy as np
 
+from typing import Dict
+
 from ..datasets.splits import OpenWorldDataset
 from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.tensor import Tensor
-from .config import OpenIMAConfig
+from .config import OpenIMAConfig, TrainerConfig
 from .inference import InferenceResult, head_predict, two_stage_predict
 from .losses import (
     bpcl_loss,
@@ -33,9 +35,47 @@ from .losses import (
     pairwise_similarity_loss,
 )
 from .pseudo_labels import PseudoLabels, generate_pseudo_labels
+from .registry import register_method
 from .trainer import GraphTrainer
 
 
+def build_openima(dataset: OpenWorldDataset, config=None,
+                  num_novel_classes: Optional[int] = None,
+                  **overrides) -> "OpenIMATrainer":
+    """Registry builder: construct OpenIMA from any config flavour.
+
+    ``config`` may be ``None``, a :class:`TrainerConfig` (wrapped into an
+    :class:`OpenIMAConfig`), or a full :class:`OpenIMAConfig`.  ``overrides``
+    are OpenIMAConfig fields.  Unless ``large_scale`` is explicitly given,
+    it defaults from the dataset's profile metadata (ogbn-Arxiv/Products).
+    """
+    if config is None:
+        config = OpenIMAConfig()
+    elif isinstance(config, TrainerConfig):
+        config = OpenIMAConfig(trainer=config)
+    elif not isinstance(config, OpenIMAConfig):
+        raise TypeError(
+            f"openima expects a TrainerConfig or OpenIMAConfig, got {type(config).__name__}"
+        )
+    if "large_scale" not in overrides and not config.large_scale:
+        if bool(dataset.metadata.get("large_scale", False)):
+            overrides["large_scale"] = True
+    if num_novel_classes is not None:
+        overrides["num_novel_classes"] = int(num_novel_classes)
+    if overrides:
+        config = config.with_updates(**overrides)
+    return OpenIMATrainer(dataset, config)
+
+
+@register_method(
+    "openima",
+    display_name="OpenIMA",
+    end_to_end=False,
+    default_epochs=20,
+    config_cls=OpenIMAConfig,
+    builder=build_openima,
+    description="BPCL + CE with bias-reduced pseudo labels (the paper's method)",
+)
 class OpenIMATrainer(GraphTrainer):
     """Trainer implementing the full OpenIMA objective and inference."""
 
@@ -48,6 +88,23 @@ class OpenIMATrainer(GraphTrainer):
         self.openima_config = config
         self.pseudo_labels: Optional[PseudoLabels] = None
         self._pseudo_lookup = -np.ones(dataset.graph.num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    @property
+    def full_config(self) -> OpenIMAConfig:
+        return self.openima_config
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        # The pseudo-label lookup is the only cross-epoch state the loss
+        # depends on; persisting it keeps resumed runs exact even when
+        # ``pseudo_label_refresh > 1`` (no refresh at the resume epoch).
+        return {"pseudo_lookup": self._pseudo_lookup.copy()}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "pseudo_lookup" in state:
+            self._pseudo_lookup = np.asarray(state["pseudo_lookup"], dtype=np.int64).copy()
 
     # ------------------------------------------------------------------
     # Pseudo labels

@@ -1,0 +1,218 @@
+"""Unified method registry for OpenIMA and every baseline.
+
+All twelve trainers register themselves with :data:`METHODS` through the
+:func:`register_method` class decorator, carrying per-method metadata
+(display name, paper epoch budget, two-stage vs end-to-end).  The experiment
+runner, the CLI, and the :mod:`repro.api` facade all construct trainers
+through :meth:`MethodRegistry.build`, so no caller needs to special-case any
+method.
+
+Methods whose configuration is richer than a plain
+:class:`~repro.core.config.TrainerConfig` (OpenIMA) register a custom
+``builder`` that knows how to wrap/extend the config; everyone else gets the
+default ``trainer_cls(dataset, config, num_novel_classes=...)`` construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type
+
+from .config import TrainerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..datasets.splits import OpenWorldDataset
+    from .trainer import GraphTrainer
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Registry entry: a trainer class plus the metadata the harness needs.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case, e.g. ``"orca-zm"``).
+    trainer_cls:
+        The :class:`~repro.core.trainer.GraphTrainer` subclass.
+    display_name:
+        Human-readable name used in tables and ``list-methods``.
+    end_to_end:
+        ``True`` for methods that train a classifier end-to-end; the paper
+        gives them a larger epoch budget than the two-stage methods.
+    default_epochs:
+        The paper's epoch budget for this method (Section VII).
+    config_cls:
+        The configuration dataclass the method is built from.  Used by the
+        checkpoint loader to deserialize the saved config.
+    builder:
+        Optional custom constructor ``builder(dataset, config=...,
+        num_novel_classes=..., **overrides)`` for methods whose config is not
+        a bare :class:`TrainerConfig`.
+    description:
+        One-line summary shown by ``list-methods``.
+    """
+
+    name: str
+    trainer_cls: Type["GraphTrainer"]
+    display_name: str
+    end_to_end: bool = False
+    default_epochs: int = 20
+    config_cls: type = TrainerConfig
+    builder: Optional[Callable[..., "GraphTrainer"]] = None
+    description: str = ""
+
+    @property
+    def kind(self) -> str:
+        return "end-to-end" if self.end_to_end else "two-stage"
+
+
+class MethodRegistry:
+    """Name -> :class:`MethodSpec` mapping with construction helpers."""
+
+    def __init__(self):
+        self._specs: Dict[str, MethodSpec] = {}
+
+    # -- registration ----------------------------------------------------
+    def register(self, spec: MethodSpec, overwrite: bool = False) -> MethodSpec:
+        # Lookups lowercase the query, so keys must be lower-case too —
+        # normalize here so directly-registered mixed-case specs stay
+        # reachable and case-colliding duplicates are caught.
+        if spec.name != spec.name.lower():
+            spec = dataclasses.replace(spec, name=spec.name.lower())
+        if spec.name in self._specs and not overwrite:
+            raise ValueError(f"method {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    # -- lookup ----------------------------------------------------------
+    def _ensure_registered(self) -> None:
+        """Import the modules whose decorators populate the registry."""
+        from .. import baselines  # noqa: F401
+        from . import openima  # noqa: F401
+
+    def names(self) -> List[str]:
+        self._ensure_registered()
+        return sorted(self._specs)
+
+    def specs(self) -> List[MethodSpec]:
+        """Currently registered specs (does not trigger imports)."""
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_registered()
+        return name.lower() in self._specs
+
+    def get(self, name: str) -> MethodSpec:
+        self._ensure_registered()
+        key = name.lower()
+        if key not in self._specs:
+            raise KeyError(f"unknown method {name!r}; available: {self.names()}")
+        return self._specs[key]
+
+    def end_to_end_names(self) -> List[str]:
+        self._ensure_registered()
+        return [spec.name for spec in self.specs() if spec.end_to_end]
+
+    # -- construction ----------------------------------------------------
+    def build(
+        self,
+        name: str,
+        dataset: "OpenWorldDataset",
+        config=None,
+        num_novel_classes: Optional[int] = None,
+        **overrides,
+    ) -> "GraphTrainer":
+        """Construct any registered method by name.
+
+        ``config`` may be ``None`` (method defaults), a :class:`TrainerConfig`,
+        or the method's own config class (e.g. ``OpenIMAConfig``).
+        ``overrides`` are method-specific keyword arguments: config fields for
+        methods with a custom builder, constructor kwargs otherwise.
+        """
+        spec = self.get(name)
+        if spec.builder is not None:
+            trainer = spec.builder(
+                dataset, config=config, num_novel_classes=num_novel_classes, **overrides
+            )
+            method_kwargs: dict = {}
+        else:
+            trainer_config = config if config is not None else TrainerConfig()
+            if not isinstance(trainer_config, TrainerConfig):
+                raise TypeError(
+                    f"method {spec.name!r} expects a TrainerConfig, "
+                    f"got {type(trainer_config).__name__}"
+                )
+            trainer = spec.trainer_cls(
+                dataset, trainer_config, num_novel_classes=num_novel_classes, **overrides
+            )
+            method_kwargs = dict(overrides)
+        # Remember how the trainer was built so checkpoints can rebuild it.
+        trainer._method_key = spec.name
+        trainer._method_kwargs = method_kwargs
+        return trainer
+
+
+#: The process-wide registry all trainers register into.
+METHODS = MethodRegistry()
+
+
+def register_method(
+    name: str,
+    *,
+    display_name: Optional[str] = None,
+    end_to_end: bool = False,
+    default_epochs: Optional[int] = None,
+    config_cls: type = TrainerConfig,
+    builder: Optional[Callable[..., "GraphTrainer"]] = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> Callable[[type], type]:
+    """Class decorator registering a trainer under ``name`` in :data:`METHODS`."""
+
+    def decorator(trainer_cls: type) -> type:
+        resolved_display = display_name or getattr(trainer_cls, "method_name", name)
+        resolved_epochs = default_epochs if default_epochs is not None else (
+            100 if end_to_end else 20
+        )
+        METHODS.register(
+            MethodSpec(
+                name=name.lower(),
+                trainer_cls=trainer_cls,
+                display_name=resolved_display,
+                end_to_end=end_to_end,
+                default_epochs=resolved_epochs,
+                config_cls=config_cls,
+                builder=builder,
+                description=description,
+            ),
+            overwrite=overwrite,
+        )
+        trainer_cls.method_key = name.lower()
+        return trainer_cls
+
+    return decorator
+
+
+def available_methods() -> List[str]:
+    """Names of every registered method (OpenIMA + all baselines)."""
+    return METHODS.names()
+
+
+def get_method(name: str) -> MethodSpec:
+    """Look up a method spec by (case-insensitive) name."""
+    return METHODS.get(name)
+
+
+def build_method(
+    name: str,
+    dataset: "OpenWorldDataset",
+    config=None,
+    num_novel_classes: Optional[int] = None,
+    **overrides,
+) -> "GraphTrainer":
+    """Construct any registered method by name (see :meth:`MethodRegistry.build`)."""
+    return METHODS.build(
+        name, dataset, config=config, num_novel_classes=num_novel_classes, **overrides
+    )

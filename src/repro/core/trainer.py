@@ -10,7 +10,7 @@ paper follows) and returns a scalar loss tensor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -20,7 +20,8 @@ from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
-from .config import TrainerConfig
+from .callbacks import Callback, CallbackList, EvaluationCallback
+from .config import SerializableConfig, TrainerConfig
 from .inference import InferenceResult, two_stage_predict
 from .labels import LabelSpace
 
@@ -77,6 +78,11 @@ class GraphTrainer:
             weight_decay=config.optimizer.weight_decay,
         )
         self.history = TrainingHistory()
+        #: Number of completed training epochs (advanced by :meth:`fit`,
+        #: restored by the checkpoint loader so ``fit`` resumes seamlessly).
+        self.epochs_trained = 0
+        #: Callbacks set this to end training at the current epoch boundary.
+        self.stop_training = False
 
         # Internal-label lookup for the labeled training nodes.
         self._train_internal = self.label_space.to_internal(
@@ -96,6 +102,43 @@ class GraphTrainer:
         """Called before each epoch (pseudo-label refresh lives here)."""
 
     # ------------------------------------------------------------------
+    # Persistence hooks
+    # ------------------------------------------------------------------
+    @property
+    def full_config(self) -> SerializableConfig:
+        """The complete config this trainer was built from.
+
+        Subclasses with a richer config (OpenIMA) override this so
+        checkpoints capture every hyper-parameter.
+        """
+        return self.config
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Method-specific arrays that must survive a checkpoint/resume.
+
+        Subclasses with cross-epoch state (pseudo-label lookups, EMA
+        prototypes, ...) override this together with
+        :meth:`load_extra_state`.
+        """
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore arrays produced by :meth:`extra_state`."""
+
+    def rng_state(self) -> dict:
+        """JSON-serializable state of the trainer's random generator."""
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the generator state captured by :meth:`rng_state`.
+
+        Encoder dropout layers share this generator instance, so restoring
+        it makes a resumed run draw the exact noise an uninterrupted run
+        would have drawn.
+        """
+        self.rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
     def _iterate_batches(self) -> Iterator[np.ndarray]:
@@ -107,20 +150,47 @@ class GraphTrainer:
             if batch.shape[0] >= 2:
                 yield batch
 
-    def fit(self) -> TrainingHistory:
-        """Train for ``config.max_epochs`` epochs and return the history."""
+    def fit(self, callbacks: Optional[Iterable[Callback]] = None,
+            max_epochs: Optional[int] = None) -> TrainingHistory:
+        """Train up to ``max_epochs`` total epochs and return the history.
+
+        Training continues from ``self.epochs_trained``, so calling ``fit``
+        on a trainer restored from a checkpoint resumes exactly where it
+        left off.  ``max_epochs`` overrides ``config.max_epochs`` as the
+        *total* epoch target (useful for "train 3 epochs, checkpoint, resume
+        to 10").  ``callbacks`` receive the epoch hooks documented in
+        :mod:`repro.core.callbacks`; a positive ``config.eval_every``
+        installs an :class:`EvaluationCallback` automatically.
+        """
+        target_epochs = self.config.max_epochs if max_epochs is None else int(max_epochs)
+        callback_stack = list(callbacks or [])
+        if self.config.eval_every:
+            # Dispatch order is list order: run the evaluation first so its
+            # logs["accuracy"] extension is visible to user callbacks (e.g.
+            # EarlyStopping(monitor="accuracy")).
+            callback_stack.insert(0, EvaluationCallback(self.config.eval_every))
+        dispatcher = CallbackList(callback_stack)
+
         self.encoder.train()
         self.head.train()
-        for epoch in range(self.config.max_epochs):
+        self.stop_training = False
+        dispatcher.on_fit_start(self)
+        for epoch in range(self.epochs_trained, target_epochs):
             self.on_epoch_start(epoch)
+            dispatcher.on_epoch_start(self, epoch)
             epoch_losses = []
             for batch_nodes in self._iterate_batches():
                 loss = self._train_step(batch_nodes)
                 epoch_losses.append(loss)
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
             if epoch_losses:
-                self.history.record_loss(float(np.mean(epoch_losses)))
-            if self.config.eval_every and (epoch + 1) % self.config.eval_every == 0:
-                self.history.record_evaluation(epoch, self.evaluate())
+                self.history.record_loss(mean_loss)
+            self.epochs_trained = epoch + 1
+            logs = {"epoch": epoch, "loss": mean_loss}
+            dispatcher.on_epoch_end(self, epoch, logs)
+            if self.stop_training:
+                break
+        dispatcher.on_fit_end(self, self.history)
         return self.history
 
     def _train_step(self, batch_nodes: np.ndarray) -> float:

@@ -77,6 +77,16 @@ def load_open_world_dataset(
             "scale": scale,
             "labels_per_class": budget,
             "large_scale": profile.large_scale,
+            # Original call arguments, recorded so checkpoints can rebuild
+            # this exact dataset (``budget`` above is already scale-adjusted
+            # and must not be passed back through this function).
+            "loader_args": {
+                "name": name,
+                "seed": seed,
+                "scale": scale,
+                "labels_per_class": labels_per_class,
+                "seen_fraction": seen_fraction,
+            },
         },
     )
 

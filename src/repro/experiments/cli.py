@@ -1,22 +1,36 @@
-"""Command-line interface for regenerating the paper's tables and figures.
+"""Command-line interface: train/resume any method, list the registries, and
+regenerate the paper's tables and figures.
 
 Examples
 --------
+Train OpenIMA on the Citeseer profile, checkpoint the result::
+
+    python -m repro.experiments.cli run --method openima --dataset citeseer \
+        --epochs 10 --scale 0.5 --save runs/openima-citeseer
+
+Resume that checkpoint for five more epochs::
+
+    python -m repro.experiments.cli resume runs/openima-citeseer --epochs 15
+
+Discover what is available::
+
+    python -m repro.experiments.cli list-methods
+    python -m repro.experiments.cli list-datasets
+
 Regenerate Table III on a small budget and save the JSON results::
 
     python -m repro.experiments.cli table3 --scale 0.3 --epochs 8 \
         --output results/table3.json
-
-Regenerate Figure 1b with the GAT encoder and two seeds::
-
-    python -m repro.experiments.cli fig1b --encoder gat --seeds 0 1
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Callable, Dict, Optional, Sequence
 
+from ..core.registry import METHODS, available_methods, get_method
+from ..datasets.registry import available_datasets, get_profile
 from .figures import build_figure1b, build_figure2
 from .persistence import save_results
 from .runner import ExperimentConfig
@@ -42,33 +56,106 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
 }
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
-    parser = argparse.ArgumentParser(
-        prog="repro.experiments",
-        description="Regenerate the tables and figures of the OpenIMA paper.",
-    )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
-                        help="which table/figure to regenerate")
+# ----------------------------------------------------------------------
+# Parser construction
+# ----------------------------------------------------------------------
+def _add_training_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every training-style subcommand."""
     parser.add_argument("--scale", type=float, default=0.35,
                         help="fraction of each synthetic profile's nodes (default: 0.35)")
     parser.add_argument("--epochs", type=int, default=8,
                         help="training epochs for two-stage methods (default: 8)")
-    parser.add_argument("--end-to-end-epochs", type=int, default=None,
-                        help="training epochs for end-to-end methods (default: 3x --epochs)")
     parser.add_argument("--batch-size", type=int, default=384,
                         help="mini-batch size (default: 384)")
     parser.add_argument("--encoder", choices=("gcn", "gat"), default="gcn",
                         help="GNN encoder (default: gcn; the paper uses gat)")
-    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
-                        help="split seeds to average over (default: 0)")
+    parser.add_argument("--backend", choices=("sparse", "dense"), default="sparse",
+                        help="message-passing backend (default: sparse)")
+    parser.add_argument("--eval-every", type=int, default=0,
+                        help="record open-world accuracy every N epochs (0 disables)")
     parser.add_argument("--output", type=str, default=None,
                         help="optional path for a JSON copy of the results")
+
+
+def _add_experiment_subparser(subparsers, name: str, help_text: str) -> None:
+    parser = subparsers.add_parser(name, help=help_text)
+    _add_training_options(parser)
+    parser.add_argument("--end-to-end-epochs", type=int, default=None,
+                        help="training epochs for end-to-end methods (default: 3x --epochs)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="split seeds to average over (default: 0)")
+    parser.set_defaults(handler=_handle_experiment)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description=(
+            "Train/resume any registered method and regenerate the tables and "
+            "figures of the OpenIMA paper."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True,
+                                       metavar="command")
+
+    # -- run -----------------------------------------------------------
+    run = subparsers.add_parser(
+        "run", help="train one method on one dataset and report accuracy")
+    run.add_argument("--method", required=True,
+                     help="registered method name (see list-methods)")
+    run.add_argument("--dataset", required=True,
+                     help="registered dataset name (see list-datasets)")
+    _add_training_options(run)
+    run.add_argument("--seed", type=int, default=0,
+                     help="graph/split/training seed (default: 0)")
+    run.add_argument("--labels-per-class", type=int, default=None,
+                     help="labeled-node budget per seen class (default: profile value)")
+    run.add_argument("--num-novel-classes", type=int, default=None,
+                     help="override the number of novel classes (Table VI setting)")
+    run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                     dest="overrides",
+                     help="config override (dotted keys, repeatable), e.g. "
+                          "--set optimizer.learning_rate=0.01 --set eta=2.0")
+    run.add_argument("--save", type=str, default=None, metavar="DIR",
+                     help="write a resumable checkpoint directory after training")
+    run.set_defaults(handler=_handle_run)
+
+    # -- resume --------------------------------------------------------
+    resume = subparsers.add_parser(
+        "resume", help="continue training from a checkpoint directory")
+    resume.add_argument("checkpoint", help="checkpoint directory written by run --save")
+    resume.add_argument("--epochs", type=int, default=None,
+                        help="new total epoch target (default: the config's max_epochs)")
+    resume.add_argument("--save", type=str, default=None, metavar="DIR",
+                        help="where to write the updated checkpoint "
+                             "(default: overwrite the source checkpoint)")
+    resume.add_argument("--output", type=str, default=None,
+                        help="optional path for a JSON copy of the results")
+    resume.set_defaults(handler=_handle_resume)
+
+    # -- listings ------------------------------------------------------
+    list_methods = subparsers.add_parser(
+        "list-methods", help="list every registered method with its metadata")
+    list_methods.add_argument("--output", type=str, default=None,
+                              help="optional path for a JSON copy of the listing")
+    list_methods.set_defaults(handler=_handle_list_methods)
+
+    list_datasets = subparsers.add_parser(
+        "list-datasets", help="list every registered dataset profile")
+    list_datasets.add_argument("--output", type=str, default=None,
+                               help="optional path for a JSON copy of the listing")
+    list_datasets.set_defaults(handler=_handle_list_datasets)
+
+    # -- tables / figures ---------------------------------------------
+    for name in sorted(EXPERIMENTS):
+        _add_experiment_subparser(subparsers, name,
+                                  f"regenerate {name} of the paper")
     return parser
 
 
 def experiment_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    """Translate parsed CLI arguments into an :class:`ExperimentConfig`."""
+    """Translate parsed table/figure CLI arguments into an :class:`ExperimentConfig`."""
     return ExperimentConfig(
         scale=args.scale,
         max_epochs=args.epochs,
@@ -76,19 +163,200 @@ def experiment_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         encoder_kind=args.encoder,
         seeds=tuple(args.seeds),
         end_to_end_epochs=args.end_to_end_epochs,
+        backend=args.backend,
+        eval_every=args.eval_every,
     )
 
 
-def main(argv: Optional[Sequence[str]] = None) -> dict:
-    """Entry point; returns the builder's result dict (useful for tests)."""
-    args = build_parser().parse_args(argv)
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+def _coerce_override_value(raw: str):
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def parse_set_overrides(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--set key=value`` pairs into a nested dict.
+
+    Dotted keys nest (``optimizer.learning_rate=0.01`` becomes
+    ``{"optimizer": {"learning_rate": 0.01}}``); values are parsed as JSON
+    when possible, otherwise kept as strings.
+    """
+    overrides: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        target = overrides
+        parts = key.split(".")
+        for part in parts[:-1]:
+            target = target.setdefault(part, {})
+            if not isinstance(target, dict):
+                raise ValueError(f"--set key {key!r} conflicts with an earlier override")
+        target[parts[-1]] = _coerce_override_value(raw)
+    return overrides
+
+
+def _split_config_overrides(config_cls, overrides: dict) -> tuple:
+    """Split ``--set`` overrides into config fields vs extra method kwargs."""
+    import dataclasses
+
+    field_names = {f.name for f in dataclasses.fields(config_cls)}
+    config_part = {k: v for k, v in overrides.items() if k in field_names}
+    extra = {k: v for k, v in overrides.items() if k not in field_names}
+    return config_part, extra
+
+
+def _deep_merge(base: dict, updates: dict) -> dict:
+    merged = dict(base)
+    for key, value in updates.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _handle_run(args: argparse.Namespace) -> dict:
+    from ..api import OpenWorldClassifier
+    from ..core.config import OpenIMAConfig, fast_config
+
+    spec = get_method(args.method)
+    trainer_config = fast_config(
+        max_epochs=args.epochs, seed=args.seed,
+        encoder_kind=args.encoder, batch_size=args.batch_size,
+        backend=args.backend, eval_every=args.eval_every,
+    )
+
+    overrides = parse_set_overrides(args.overrides)
+    if spec.config_cls is OpenIMAConfig:
+        config_dict = OpenIMAConfig(trainer=trainer_config).to_dict()
+        # Methods with their own config class take every override as a config
+        # field, so typos hit from_dict's strict unknown-key validation.
+        config_part, method_params = overrides, {}
+    else:
+        config_dict = trainer_config.to_dict()
+        config_part, method_params = _split_config_overrides(spec.config_cls, overrides)
+    config = spec.config_cls.from_dict(_deep_merge(config_dict, config_part))
+
+    classifier = OpenWorldClassifier(
+        args.method, config=config,
+        num_novel_classes=args.num_novel_classes,
+        method_params=method_params,
+    )
+    classifier.fit(
+        args.dataset,
+        seed=args.seed,
+        scale=args.scale,
+        labels_per_class=args.labels_per_class,
+    )
+    result = _report_classifier(classifier, saved_to=args.save)
+    if args.save:
+        classifier.save(args.save)
+    return result
+
+
+def _handle_resume(args: argparse.Namespace) -> dict:
+    from ..api import OpenWorldClassifier
+
+    classifier = OpenWorldClassifier.load(args.checkpoint)
+    classifier.fit(max_epochs=args.epochs)
+    target = args.save or args.checkpoint
+    result = _report_classifier(classifier, saved_to=target)
+    classifier.save(target)
+    return result
+
+
+def _report_classifier(classifier, saved_to: Optional[str] = None) -> dict:
+    accuracy = classifier.evaluate()
+    spec = get_method(classifier.method)
+    lines = [
+        f"method:    {spec.display_name} ({classifier.method}, {spec.kind})",
+        f"dataset:   {classifier.dataset_.name}",
+        f"epochs:    {classifier.epochs_trained}",
+        f"accuracy:  all={accuracy.overall:.4f}  seen={accuracy.seen:.4f}  "
+        f"novel={accuracy.novel:.4f}",
+    ]
+    final_loss = classifier.history.final_loss
+    if final_loss is not None:
+        lines.insert(3, f"loss:      {final_loss:.4f}")
+    if saved_to:
+        lines.append(f"checkpoint: {saved_to}")
+    return {
+        "report": "\n".join(lines),
+        "method": classifier.method,
+        "dataset": classifier.dataset_.name,
+        "epochs_trained": classifier.epochs_trained,
+        "accuracy": accuracy.as_dict(),
+        "losses": list(classifier.history.losses),
+        "evaluations": list(classifier.history.evaluations),
+    }
+
+
+def _handle_list_methods(args: argparse.Namespace) -> dict:
+    rows = []
+    for name in available_methods():
+        spec = METHODS.get(name)
+        rows.append({
+            "name": spec.name,
+            "display_name": spec.display_name,
+            "kind": spec.kind,
+            "default_epochs": spec.default_epochs,
+            "description": spec.description,
+        })
+    width = max(len(row["name"]) for row in rows)
+    lines = [
+        f"{row['name']:<{width}}  {row['kind']:<10}  "
+        f"{row['default_epochs']:>3} epochs  {row['description']}"
+        for row in rows
+    ]
+    return {"report": "\n".join(lines), "methods": rows}
+
+
+def _handle_list_datasets(args: argparse.Namespace) -> dict:
+    rows = []
+    for name in available_datasets():
+        profile = get_profile(name)
+        rows.append({
+            "name": name,
+            "paper_name": profile.paper_name,
+            "classes": profile.paper_classes,
+            "synthetic_nodes": profile.sbm.num_nodes,
+            "labels_per_class": profile.labels_per_class,
+            "large_scale": profile.large_scale,
+        })
+    width = max(len(row["name"]) for row in rows)
+    lines = [
+        f"{row['name']:<{width}}  {row['paper_name']:<16}  "
+        f"{row['classes']:>2} classes  {row['synthetic_nodes']:>5} nodes"
+        + ("  [large-scale]" if row["large_scale"] else "")
+        for row in rows
+    ]
+    return {"report": "\n".join(lines), "datasets": rows}
+
+
+def _handle_experiment(args: argparse.Namespace) -> dict:
     experiment = experiment_config_from_args(args)
-    result = EXPERIMENTS[args.experiment](experiment)
-    print(result["report"])
-    if args.output:
+    return EXPERIMENTS[args.experiment](experiment)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> dict:
+    """Entry point; returns the handler's result dict (useful for tests)."""
+    args = build_parser().parse_args(argv)
+    result = args.handler(args)
+    if "report" in result:
+        print(result["report"])
+    output = getattr(args, "output", None)
+    if output:
         path = save_results(
             {key: value for key, value in result.items() if key != "report"},
-            args.output,
+            output,
         )
         print(f"\nJSON results written to {path}")
     return result

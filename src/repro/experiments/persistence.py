@@ -9,6 +9,7 @@ results without re-running the experiments.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Mapping
@@ -20,24 +21,30 @@ from .runner import AggregatedResult, RunResult
 
 
 def _to_jsonable(value: Any) -> Any:
-    """Convert numpy / dataclass values into JSON-serializable structures."""
+    """Convert numpy / dataclass values into JSON-serializable structures.
+
+    Non-finite floats (NaN, +/-Inf) become ``null`` wherever they appear —
+    including inside numpy arrays and nested lists — so the output is strict
+    JSON (``json.dumps`` would otherwise emit invalid ``NaN``/``Infinity``
+    tokens).
+    """
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
-        return float(value)
+        return _to_jsonable(float(value))
     if isinstance(value, np.ndarray):
-        return value.tolist()
+        return _to_jsonable(value.tolist())
     if isinstance(value, OpenWorldAccuracy):
-        return value.as_dict()
+        return _to_jsonable(value.as_dict())
     if isinstance(value, RunResult):
-        return value.as_dict()
+        return _to_jsonable(value.as_dict())
     if isinstance(value, AggregatedResult):
         return {
             "method": value.method,
             "dataset": value.dataset,
-            "accuracy": value.accuracy.as_dict(),
-            "imbalance_rate": value.imbalance_rate,
-            "separation_rate": value.separation_rate,
+            "accuracy": _to_jsonable(value.accuracy.as_dict()),
+            "imbalance_rate": _to_jsonable(value.imbalance_rate),
+            "separation_rate": _to_jsonable(value.separation_rate),
             "runs": [_to_jsonable(run) for run in value.runs],
         }
     if is_dataclass(value) and not isinstance(value, type):
@@ -46,7 +53,7 @@ def _to_jsonable(value: Any) -> Any:
         return {str(key): _to_jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_to_jsonable(item) for item in value]
-    if isinstance(value, float) and value != value:  # NaN
+    if isinstance(value, float) and not math.isfinite(value):  # NaN / +/-Inf
         return None
     return value
 
@@ -56,7 +63,7 @@ def save_results(results: Any, path: str | Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = _to_jsonable(results)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
     return path
 
 

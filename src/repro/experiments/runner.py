@@ -14,9 +14,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..baselines import build_baseline
-from ..core.config import OpenIMAConfig, TrainerConfig, fast_config
-from ..core.openima import OpenIMATrainer
+from ..core.config import TrainerConfig, fast_config
+from ..core.registry import METHODS
 from ..core.trainer import GraphTrainer
 from ..datasets.synthetic import load_open_world_dataset
 from ..datasets.splits import OpenWorldDataset
@@ -89,12 +88,13 @@ class AggregatedResult:
         return self._mean("silhouette")
 
 
-#: Methods that train a classifier end-to-end; the paper gives them a larger
-#: epoch budget (100, or 50 for ORCA/SimGCD) than the two-stage methods (20).
-END_TO_END_METHODS = frozenset({
-    "orca", "orca-zm", "simgcd", "openldn", "opencon", "opencon-two-stage",
-    "oodgat", "openwgl",
-})
+def __getattr__(name: str):
+    # Backwards-compatible lazy attribute (PEP 562): the end-to-end method
+    # set is derived from the per-method registry metadata — no hardcoded
+    # name list, and no eager import of every baseline at module load.
+    if name == "END_TO_END_METHODS":
+        return frozenset(METHODS.end_to_end_names())
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -115,9 +115,13 @@ class ExperimentConfig:
     seeds: Sequence[int] = (0,)
     labels_per_class: Optional[int] = None
     end_to_end_epochs: Optional[int] = None
+    backend: str = "sparse"
+    eval_every: int = 0
 
     def epochs_for(self, method: str) -> int:
-        if method.lower() in END_TO_END_METHODS:
+        key = method.lower()
+        is_end_to_end = key in METHODS and METHODS.get(key).end_to_end
+        if is_end_to_end:
             if self.end_to_end_epochs is not None:
                 return self.end_to_end_epochs
             return 3 * self.max_epochs
@@ -130,6 +134,8 @@ class ExperimentConfig:
             seed=seed,
             encoder_kind=self.encoder_kind,
             batch_size=self.batch_size,
+            backend=self.backend,
+            eval_every=self.eval_every,
         )
 
 
@@ -139,20 +145,19 @@ def build_method(
     trainer_config: TrainerConfig,
     num_novel_classes: Optional[int] = None,
     openima_overrides: Optional[dict] = None,
+    **overrides,
 ) -> GraphTrainer:
-    """Construct OpenIMA or a baseline by name."""
-    key = name.lower()
-    if key == "openima":
-        overrides = dict(openima_overrides or {})
-        large_scale = bool(dataset.metadata.get("large_scale", False))
-        config = OpenIMAConfig(
-            trainer=trainer_config,
-            large_scale=overrides.pop("large_scale", large_scale),
-            num_novel_classes=num_novel_classes,
-            **overrides,
-        )
-        return OpenIMATrainer(dataset, config)
-    return build_baseline(key, dataset, trainer_config, num_novel_classes=num_novel_classes)
+    """Construct any registered method (OpenIMA included) by name.
+
+    Thin wrapper over :meth:`repro.core.registry.MethodRegistry.build`; the
+    ``openima_overrides`` name is kept for backwards compatibility and is
+    merged into the generic per-method ``overrides``.
+    """
+    merged = {**(openima_overrides or {}), **overrides}
+    return METHODS.build(
+        name, dataset, config=trainer_config,
+        num_novel_classes=num_novel_classes, **merged,
+    )
 
 
 def evaluate_trainer(trainer: GraphTrainer, dataset: OpenWorldDataset,

@@ -8,13 +8,20 @@ for the optimizer, and switches between train/eval behaviour with
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 import numpy as np
 
 from . import functional as F
 from .init import glorot_uniform, zeros_init
 from .tensor import Tensor
+
+
+class LoadStateResult(NamedTuple):
+    """Key-level outcome of :meth:`Module.load_state_dict`."""
+
+    missing_keys: List[str]
+    unexpected_keys: List[str]
 
 
 class Parameter(Tensor):
@@ -81,17 +88,41 @@ class Module:
         """Return a copy of all parameter arrays keyed by dotted names."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter arrays produced by :meth:`state_dict`."""
+    def load_state_dict(self, state: Dict[str, np.ndarray],
+                        strict: bool = True) -> "LoadStateResult":
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        With ``strict=True`` (the default) any missing or unexpected key
+        raises a ``KeyError`` listing both sets; with ``strict=False`` the
+        intersection is loaded and the mismatches are reported in the
+        returned :class:`LoadStateResult`.  A shape mismatch is always an
+        error — every offending key is listed with the checkpoint and model
+        shapes so a bad checkpoint is diagnosable in one read.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
-        for name, value in state.items():
-            if own[name].data.shape != value.shape:
-                raise ValueError(f"shape mismatch for {name}")
-            own[name].data = np.array(value, dtype=np.float64, copy=True)
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if strict and (missing or unexpected):
+            raise KeyError(
+                "load_state_dict(strict=True) key mismatch: "
+                f"missing keys (in model, not in checkpoint): {missing or 'none'}; "
+                f"unexpected keys (in checkpoint, not in model): {unexpected or 'none'}"
+            )
+        loadable = [name for name in state if name in own]
+        shape_errors = [
+            f"{name}: checkpoint shape {np.shape(state[name])} vs "
+            f"model shape {own[name].data.shape}"
+            for name in loadable
+            if tuple(np.shape(state[name])) != tuple(own[name].data.shape)
+        ]
+        if shape_errors:
+            raise ValueError(
+                "load_state_dict shape mismatch for "
+                f"{len(shape_errors)} parameter(s): " + "; ".join(shape_errors)
+            )
+        for name in loadable:
+            own[name].data = np.array(state[name], dtype=np.float64, copy=True)
+        return LoadStateResult(missing_keys=missing, unexpected_keys=unexpected)
 
     # -- call ---------------------------------------------------------------
     def __call__(self, *args, **kwargs):

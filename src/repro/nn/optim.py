@@ -28,6 +28,44 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- persistence -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (moment buffers, step counters).
+
+        Hyper-parameters (lr, betas, ...) are *not* included: they come from
+        the training config, which is persisted separately.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Buffer lists are validated against the current parameter list (count
+        and per-parameter shape) so a checkpoint from a different model fails
+        loudly.
+        """
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} has no state but received keys {sorted(state)}"
+            )
+
+    def _check_buffers(self, name: str, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state {name!r} has {len(buffers)} buffers but the "
+                f"optimizer tracks {len(self.parameters)} parameters"
+            )
+        checked = []
+        for index, (buffer, param) in enumerate(zip(buffers, self.parameters)):
+            array = np.asarray(buffer, dtype=np.float64)
+            if array.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer state {name!r}[{index}] has shape {array.shape} "
+                    f"but parameter has shape {param.data.shape}"
+                )
+            checked.append(array.copy())
+        return checked
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -54,6 +92,12 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data -= self.lr * update
+
+    def state_dict(self) -> dict:
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = self._check_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -89,3 +133,15 @@ class Adam(Optimizer):
             m_hat = m / bias_correction1
             v_hat = v / bias_correction2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])
+        self._step_count = int(state["step_count"])

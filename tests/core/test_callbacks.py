@@ -1,0 +1,166 @@
+"""Callback hooks in GraphTrainer.fit: logging, early stopping, checkpoints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.two_stage import InfoNCETrainer
+from repro.core.callbacks import (
+    Callback,
+    EarlyStopping,
+    EvaluationCallback,
+    LossLogger,
+    PeriodicCheckpoint,
+)
+from repro.core.openima import OpenIMATrainer
+
+
+class RecordingCallback(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_fit_start(self, trainer):
+        self.events.append("fit_start")
+
+    def on_epoch_start(self, trainer, epoch):
+        self.events.append(("epoch_start", epoch))
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        self.events.append(("epoch_end", epoch, logs["loss"]))
+
+    def on_fit_end(self, trainer, history):
+        self.events.append("fit_end")
+
+
+class TestHookDispatch:
+    def test_hooks_fire_in_order(self, small_dataset, tiny_trainer_config):
+        recorder = RecordingCallback()
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        trainer.fit(callbacks=[recorder])
+        assert recorder.events[0] == "fit_start"
+        assert recorder.events[1] == ("epoch_start", 0)
+        assert recorder.events[-1] == "fit_end"
+        epoch_ends = [e for e in recorder.events if e[0] == "epoch_end"]
+        assert len(epoch_ends) == tiny_trainer_config.max_epochs
+        assert all(np.isfinite(e[2]) for e in epoch_ends)
+
+    def test_logs_match_history(self, small_dataset, tiny_trainer_config):
+        recorder = RecordingCallback()
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        trainer.fit(callbacks=[recorder])
+        losses = [e[2] for e in recorder.events if e[0] == "epoch_end"]
+        assert losses == trainer.history.losses
+
+    def test_max_epochs_override(self, small_dataset, tiny_trainer_config):
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        trainer.fit(max_epochs=1)
+        assert trainer.epochs_trained == 1
+        trainer.fit()  # continues to the config target
+        assert trainer.epochs_trained == tiny_trainer_config.max_epochs
+
+
+class TestLossLogger:
+    def test_logs_every_epoch(self, small_dataset, tiny_trainer_config):
+        lines = []
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        trainer.fit(callbacks=[LossLogger(print_fn=lines.append)])
+        assert len(lines) == tiny_trainer_config.max_epochs
+        assert "epoch 1" in lines[0] and "loss" in lines[0]
+
+    def test_invalid_every_rejected(self):
+        with pytest.raises(ValueError):
+            LossLogger(every=0)
+
+
+class TestEarlyStopping:
+    def test_stops_when_no_improvement_possible(self, small_dataset, tiny_trainer_config):
+        config = tiny_trainer_config.with_updates(max_epochs=6)
+        trainer = InfoNCETrainer(small_dataset, config)
+        stopper = EarlyStopping(monitor="loss", patience=2, min_delta=1e9)
+        trainer.fit(callbacks=[stopper])
+        # First epoch sets best (inf -> loss improves), then every epoch is
+        # "no improvement" because of the huge min_delta.
+        assert trainer.epochs_trained == 3
+        assert stopper.stopped_epoch == 2
+
+    def test_does_not_stop_when_improving(self, small_dataset, tiny_trainer_config):
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        stopper = EarlyStopping(monitor="loss", patience=5, min_delta=0.0)
+        trainer.fit(callbacks=[stopper])
+        assert trainer.epochs_trained == tiny_trainer_config.max_epochs
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
+
+
+class TestEvaluationCallback:
+    def test_eval_every_config_installs_callback(self, small_dataset, tiny_trainer_config):
+        config = tiny_trainer_config.with_updates(eval_every=1)
+        trainer = InfoNCETrainer(small_dataset, config)
+        trainer.fit()
+        assert len(trainer.history.evaluations) == config.max_epochs
+        assert {"epoch", "all", "seen", "novel"} <= set(trainer.history.evaluations[0])
+
+    def test_auto_installed_eval_runs_before_user_callbacks(self, small_dataset,
+                                                            tiny_trainer_config):
+        seen = []
+
+        class GrabAccuracy(Callback):
+            def on_epoch_end(self, trainer, epoch, logs):
+                seen.append(logs.get("accuracy"))
+
+        config = tiny_trainer_config.with_updates(eval_every=1)
+        trainer = InfoNCETrainer(small_dataset, config)
+        trainer.fit(callbacks=[GrabAccuracy()])
+        # The eval_every-installed callback is dispatched first, so user
+        # callbacks (e.g. EarlyStopping(monitor="accuracy")) see the value.
+        assert len(seen) == config.max_epochs
+        assert all(value is not None for value in seen)
+
+    def test_explicit_callback_records_and_extends_logs(self, small_dataset,
+                                                        tiny_trainer_config):
+        recorder = RecordingCallback()
+
+        class GrabAccuracy(Callback):
+            seen = []
+
+            def on_epoch_end(self, trainer, epoch, logs):
+                if "accuracy" in logs:
+                    self.seen.append(logs["accuracy"])
+
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        trainer.fit(callbacks=[recorder, EvaluationCallback(every=2), GrabAccuracy()])
+        assert len(trainer.history.evaluations) == tiny_trainer_config.max_epochs // 2
+        assert len(GrabAccuracy.seen) == len(trainer.history.evaluations)
+
+
+class TestPeriodicCheckpoint:
+    def test_writes_resumable_checkpoints(self, tmp_path, small_dataset,
+                                          tiny_trainer_config):
+        from repro.api.checkpoint import load_trainer_checkpoint
+        from repro.core.registry import build_method
+
+        trainer = build_method("openima", small_dataset, tiny_trainer_config)
+        checkpointer = PeriodicCheckpoint(str(tmp_path / "epoch-{epoch}"), every=1)
+        trainer.fit(callbacks=[checkpointer])
+        assert checkpointer.saved_paths == [
+            str(tmp_path / f"epoch-{e + 1}") for e in range(tiny_trainer_config.max_epochs)
+        ]
+        restored, manifest = load_trainer_checkpoint(
+            checkpointer.saved_paths[-1], dataset=small_dataset)
+        assert isinstance(restored, OpenIMATrainer)
+        assert restored.epochs_trained == tiny_trainer_config.max_epochs
+        assert np.array_equal(restored.predict().predictions,
+                              trainer.predict().predictions)
+
+    def test_rolling_checkpoint_overwrites(self, tmp_path, small_dataset,
+                                           tiny_trainer_config):
+        from repro.core.registry import build_method
+
+        trainer = build_method("infonce", small_dataset, tiny_trainer_config)
+        checkpointer = PeriodicCheckpoint(str(tmp_path / "latest"), every=1)
+        trainer.fit(callbacks=[checkpointer])
+        assert (tmp_path / "latest" / "manifest.json").exists()
+        assert len(set(checkpointer.saved_paths)) == 1

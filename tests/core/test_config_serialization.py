@@ -1,0 +1,81 @@
+"""Config dict/JSON round-tripping and strict unknown-key validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    EncoderConfig,
+    OpenIMAConfig,
+    OptimizerConfig,
+    TrainerConfig,
+    fast_config,
+)
+
+ALL_CONFIGS = [
+    EncoderConfig(kind="gcn", hidden_dim=48, backend="dense"),
+    OptimizerConfig(learning_rate=3e-3, weight_decay=0.0),
+    fast_config(max_epochs=5, seed=3, encoder_kind="gat"),
+    OpenIMAConfig(eta=2.5, rho=50.0, large_scale=True, num_novel_classes=4),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: type(c).__name__)
+    def test_dict_round_trip(self, config):
+        restored = type(config).from_dict(config.to_dict())
+        assert restored == config
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: type(c).__name__)
+    def test_json_round_trip(self, config):
+        text = config.to_json()
+        json.loads(text)  # valid JSON
+        assert type(config).from_json(text) == config
+
+    def test_nested_configs_become_nested_dicts(self):
+        data = OpenIMAConfig().to_dict()
+        assert isinstance(data["trainer"], dict)
+        assert isinstance(data["trainer"]["encoder"], dict)
+        assert data["trainer"]["encoder"]["kind"] == "gat"
+
+    def test_partial_dict_uses_defaults(self):
+        config = TrainerConfig.from_dict({"max_epochs": 3, "encoder": {"kind": "gcn"}})
+        assert config.max_epochs == 3
+        assert config.encoder.kind == "gcn"
+        assert config.encoder.hidden_dim == EncoderConfig().hidden_dim
+        assert config.batch_size == TrainerConfig().batch_size
+
+    def test_nested_field_accepts_config_object(self):
+        encoder = EncoderConfig(kind="gcn")
+        config = TrainerConfig.from_dict({"encoder": encoder})
+        assert config.encoder == encoder
+
+
+class TestValidation:
+    def test_unknown_top_level_key_raises(self):
+        with pytest.raises(ValueError, match="unknown TrainerConfig keys.*'bogus'"):
+            TrainerConfig.from_dict({"bogus": 1})
+
+    def test_unknown_nested_key_raises(self):
+        with pytest.raises(ValueError, match="unknown EncoderConfig keys"):
+            TrainerConfig.from_dict({"encoder": {"hidden": 64}})
+
+    def test_unknown_openima_key_raises(self):
+        with pytest.raises(ValueError, match="unknown OpenIMAConfig keys"):
+            OpenIMAConfig.from_dict({"etaa": 1.0})
+
+    def test_error_names_valid_keys(self):
+        with pytest.raises(ValueError, match="valid keys"):
+            OptimizerConfig.from_dict({"lr": 0.1})
+
+    def test_non_mapping_raises(self):
+        with pytest.raises(TypeError, match="expects a mapping"):
+            TrainerConfig.from_dict([("max_epochs", 3)])
+
+    def test_with_updates_on_all_configs(self):
+        assert EncoderConfig().with_updates(kind="gcn").kind == "gcn"
+        assert OptimizerConfig().with_updates(learning_rate=1.0).learning_rate == 1.0
+        assert TrainerConfig().with_updates(seed=9).seed == 9
+        assert OpenIMAConfig().with_updates(eta=3.0).eta == 3.0

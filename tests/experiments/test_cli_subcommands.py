@@ -1,0 +1,140 @@
+"""The run/resume/list-* CLI subcommands (table/fig commands are tested in
+test_persistence_cli.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available_methods
+from repro.datasets.registry import available_datasets
+from repro.experiments.cli import build_parser, main, parse_set_overrides
+
+TINY_RUN = ["run", "--method", "openima", "--dataset", "citeseer",
+            "--epochs", "1", "--scale", "0.15"]
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(TINY_RUN)
+        assert args.experiment == "run"
+        assert args.backend == "sparse"
+        assert args.eval_every == 0
+        assert args.seed == 0
+
+    def test_run_requires_method_and_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "openima"])
+
+    def test_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(TINY_RUN + ["--backend", "cuda"])
+
+    def test_tables_accept_backend_and_eval_every(self):
+        args = build_parser().parse_args(
+            ["table3", "--backend", "dense", "--eval-every", "2"])
+        assert args.backend == "dense"
+        assert args.eval_every == 2
+
+
+class TestSetOverrides:
+    def test_dotted_keys_nest(self):
+        overrides = parse_set_overrides(
+            ["optimizer.learning_rate=0.01", "eta=2.0", "encoder.kind=gcn"])
+        assert overrides == {
+            "optimizer": {"learning_rate": 0.01},
+            "eta": 2.0,
+            "encoder": {"kind": "gcn"},
+        }
+
+    def test_json_and_string_values(self):
+        overrides = parse_set_overrides(["a=true", "b=hello", "c=[1,2]"])
+        assert overrides == {"a": True, "b": "hello", "c": [1, 2]}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            parse_set_overrides(["eta"])
+
+
+class TestRunCommand:
+    def test_run_openima_end_to_end(self, capsys):
+        result = main(TINY_RUN)
+        captured = capsys.readouterr()
+        assert "OpenIMA" in captured.out
+        assert result["method"] == "openima"
+        assert result["epochs_trained"] == 1
+        assert 0.0 <= result["accuracy"]["all"] <= 1.0
+
+    def test_run_applies_set_overrides(self):
+        result = main(TINY_RUN + ["--set", "eta=0.0", "--set",
+                                  "trainer.temperature=0.5"])
+        assert result["method"] == "openima"
+
+    def test_run_baseline_with_method_param_override(self):
+        result = main(["run", "--method", "orca", "--dataset", "citeseer",
+                       "--epochs", "1", "--scale", "0.15",
+                       "--set", "margin_scale=0.5"])
+        assert result["method"] == "orca"
+
+    def test_run_eval_every_records_evaluations(self):
+        result = main(TINY_RUN + ["--eval-every", "1"])
+        assert len(result["evaluations"]) == 1
+
+    def test_run_dense_backend(self):
+        result = main(TINY_RUN + ["--backend", "dense"])
+        assert result["epochs_trained"] == 1
+
+    def test_unknown_set_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown OpenIMAConfig keys"):
+            main(TINY_RUN + ["--set", "etaa=1.0"])
+
+    @pytest.mark.parametrize("method", sorted(available_methods()))
+    def test_every_registered_method_runnable(self, method):
+        result = main(["run", "--method", method, "--dataset", "citeseer",
+                       "--epochs", "1", "--scale", "0.15"])
+        assert result["method"] == method
+        assert result["epochs_trained"] >= 1
+        assert np.isfinite(result["accuracy"]["all"])
+
+
+class TestResumeCommand:
+    def test_save_then_resume(self, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        first = main(TINY_RUN + ["--save", str(checkpoint)])
+        assert (checkpoint / "manifest.json").exists()
+        resumed = main(["resume", str(checkpoint), "--epochs", "2",
+                        "--save", str(tmp_path / "ckpt2")])
+        assert resumed["epochs_trained"] == 2
+        assert resumed["losses"][0] == pytest.approx(first["losses"][0])
+        assert (tmp_path / "ckpt2" / "manifest.json").exists()
+
+    def test_resume_overwrites_source_by_default(self, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        main(TINY_RUN + ["--save", str(checkpoint)])
+        resumed = main(["resume", str(checkpoint), "--epochs", "2"])
+        assert resumed["epochs_trained"] == 2
+        again = main(["resume", str(checkpoint)])
+        # Already at the target: no further epochs are trained.
+        assert again["epochs_trained"] == 2
+
+
+class TestListCommands:
+    def test_list_methods(self, capsys):
+        result = main(["list-methods"])
+        captured = capsys.readouterr()
+        assert set(row["name"] for row in result["methods"]) == set(available_methods())
+        assert "openima" in captured.out
+        assert "end-to-end" in captured.out and "two-stage" in captured.out
+
+    def test_list_datasets(self, capsys):
+        result = main(["list-datasets"])
+        captured = capsys.readouterr()
+        assert set(row["name"] for row in result["datasets"]) == set(available_datasets())
+        assert "ogbn-products" in captured.out
+
+    def test_output_flag_writes_json(self, tmp_path):
+        from repro.experiments.persistence import load_results
+
+        main(["list-methods", "--output", str(tmp_path / "methods.json")])
+        loaded = load_results(tmp_path / "methods.json")
+        assert any(row["name"] == "openima" for row in loaded["methods"])

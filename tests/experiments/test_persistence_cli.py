@@ -50,6 +50,22 @@ class TestPersistence:
         assert loaded["int"] == 7
         assert loaded["nan"] is None
 
+    def test_nan_inf_inside_arrays_and_lists_sanitized(self, tmp_path):
+        import json
+
+        payload = {
+            "array": np.array([1.0, np.nan, np.inf, -np.inf]),
+            "matrix": np.array([[np.nan, 2.0], [3.0, np.inf]]),
+            "nested": [[float("nan")], (float("inf"), 1.0)],
+        }
+        path = save_results(payload, tmp_path / "nonfinite.json")
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        loaded = json.loads(text)
+        assert loaded["array"] == [1.0, None, None, None]
+        assert loaded["matrix"] == [[None, 2.0], [3.0, None]]
+        assert loaded["nested"] == [[None], [None, 1.0]]
+
     def test_nested_directories_created(self, tmp_path):
         path = save_results({"x": 1}, tmp_path / "a" / "b" / "c.json")
         assert path.exists()

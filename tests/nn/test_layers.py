@@ -120,3 +120,52 @@ class TestSequentialAndActivations:
     def test_parameter_is_trainable(self):
         param = Parameter(np.ones(3))
         assert param.requires_grad
+
+
+class TestStrictStateDict:
+    def _layer(self, seed=0):
+        return Linear(4, 2, rng=np.random.default_rng(seed))
+
+    def test_strict_error_lists_missing_and_unexpected(self):
+        layer = self._layer()
+        state = layer.state_dict()
+        del state["bias"]
+        state["extra"] = np.zeros(3)
+        with pytest.raises(KeyError) as excinfo:
+            layer.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "missing" in message and "bias" in message
+        assert "unexpected" in message and "extra" in message
+
+    def test_non_strict_loads_intersection(self):
+        layer_a = self._layer(0)
+        layer_b = self._layer(99)
+        state = layer_a.state_dict()
+        del state["bias"]
+        state["extra"] = np.zeros(3)
+        result = layer_b.load_state_dict(state, strict=False)
+        assert result.missing_keys == ["bias"]
+        assert result.unexpected_keys == ["extra"]
+        np.testing.assert_allclose(layer_a.weight.data, layer_b.weight.data)
+
+    def test_shape_error_reports_both_shapes(self):
+        layer = self._layer()
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 2))
+        with pytest.raises(ValueError) as excinfo:
+            layer.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "(3, 2)" in message and "(4, 2)" in message and "weight" in message
+
+    def test_shape_error_even_when_not_strict(self):
+        layer = self._layer()
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state, strict=False)
+
+    def test_successful_load_returns_empty_result(self):
+        layer_a = self._layer(0)
+        layer_b = self._layer(99)
+        result = layer_b.load_state_dict(layer_a.state_dict())
+        assert result.missing_keys == [] and result.unexpected_keys == []

@@ -115,3 +115,76 @@ class TestInitializers:
     def test_glorot_vector_shape(self):
         rng = np.random.default_rng(2)
         assert glorot_uniform((7,), rng).shape == (7,)
+
+
+class TestOptimizerStateDict:
+    def _train_steps(self, param, optimizer, steps):
+        for _ in range(steps):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+
+    def test_adam_state_dict_contents(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        self._train_steps(param, optimizer, 3)
+        state = optimizer.state_dict()
+        assert state["step_count"] == 3
+        assert len(state["m"]) == 1 and state["m"][0].shape == (4,)
+        assert len(state["v"]) == 1 and state["v"][0].shape == (4,)
+
+    def test_adam_resume_matches_uninterrupted(self):
+        param_a = Parameter(np.zeros(4))
+        optimizer_a = Adam([param_a], lr=0.1)
+        self._train_steps(param_a, optimizer_a, 10)
+
+        param_b = Parameter(np.zeros(4))
+        optimizer_b = Adam([param_b], lr=0.1)
+        self._train_steps(param_b, optimizer_b, 4)
+        saved_state = optimizer_b.state_dict()
+        saved_param = param_b.data.copy()
+
+        param_c = Parameter(saved_param.copy())
+        optimizer_c = Adam([param_c], lr=0.1)
+        optimizer_c.load_state_dict(saved_state)
+        self._train_steps(param_c, optimizer_c, 6)
+        np.testing.assert_array_equal(param_a.data, param_c.data)
+
+    def test_sgd_resume_matches_uninterrupted(self):
+        param_a = Parameter(np.zeros(4))
+        optimizer_a = SGD([param_a], lr=0.05, momentum=0.9)
+        self._train_steps(param_a, optimizer_a, 10)
+
+        param_b = Parameter(np.zeros(4))
+        optimizer_b = SGD([param_b], lr=0.05, momentum=0.9)
+        self._train_steps(param_b, optimizer_b, 4)
+
+        param_c = Parameter(param_b.data.copy())
+        optimizer_c = SGD([param_c], lr=0.05, momentum=0.9)
+        optimizer_c.load_state_dict(optimizer_b.state_dict())
+        self._train_steps(param_c, optimizer_c, 6)
+        np.testing.assert_array_equal(param_a.data, param_c.data)
+
+    def test_buffer_count_mismatch_rejected(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        state = optimizer.state_dict()
+        state["m"] = state["m"] + [np.zeros(4)]
+        with pytest.raises(ValueError, match="buffers"):
+            optimizer.load_state_dict(state)
+
+    def test_buffer_shape_mismatch_rejected(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        state = optimizer.state_dict()
+        state["v"] = [np.zeros(5)]
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        self._train_steps(param, optimizer, 1)
+        state = optimizer.state_dict()
+        state["m"][0][:] = 123.0
+        assert not np.allclose(optimizer._m[0], 123.0)
