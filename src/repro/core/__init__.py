@@ -13,6 +13,7 @@ from .config import (
     EncoderConfig,
     OpenIMAConfig,
     OptimizerConfig,
+    SamplingConfig,
     SerializableConfig,
     TrainerConfig,
     fast_config,
@@ -46,6 +47,7 @@ from .trainer import GraphTrainer, TrainingHistory
 __all__ = [
     "EncoderConfig",
     "OptimizerConfig",
+    "SamplingConfig",
     "TrainerConfig",
     "OpenIMAConfig",
     "SerializableConfig",

@@ -96,6 +96,55 @@ class EncoderConfig(SerializableConfig):
     backend: str = "sparse"
 
 
+#: Valid ``SamplingConfig.mode`` values.
+SAMPLING_MODES = ("full", "khop", "sampled")
+
+
+@dataclass(frozen=True)
+class SamplingConfig(SerializableConfig):
+    """Mini-batch neighborhood-sampling settings (``repro.graphs.sampling``).
+
+    Attributes
+    ----------
+    mode:
+        ``"full"`` (default) runs the encoder on the whole graph every batch
+        and gathers the batch rows — O(num_batches x full forward) per
+        epoch.  ``"khop"`` extracts the exact ``num_hops``-hop receptive
+        field of each batch and runs the encoder on that subgraph only; with
+        dropout disabled it reproduces full-graph batch losses to 1e-8.
+        ``"sampled"`` additionally caps the expansion with per-hop
+        ``fanouts`` (GraphSAGE-style), trading exactness for a bounded
+        per-step cost on huge or scale-free graphs.
+    num_hops:
+        Receptive-field depth; must cover the encoder's message-passing
+        depth (both in-repo encoders are 2-layer, hence the default).
+    fanouts:
+        Per-hop neighbor caps for ``mode="sampled"`` (one per hop).  ``None``
+        defaults to 10 neighbors per hop; ignored by the other modes.
+    seed:
+        Optional dedicated seed for the fanout RNG.  ``None`` (default)
+        draws from the trainer's generator, whose state checkpoints already
+        persist; a dedicated generator's state is checkpointed separately.
+    """
+
+    mode: str = "full"
+    num_hops: int = 2
+    fanouts: Optional[list] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        from ..graphs.sampling import validate_fanouts
+
+        if self.mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {self.mode!r}; expected one of {SAMPLING_MODES}"
+            )
+        _, fanouts = validate_fanouts(self.num_hops, self.fanouts)
+        if fanouts is None and self.mode == "sampled":
+            fanouts = [10] * self.num_hops
+        object.__setattr__(self, "fanouts", fanouts)
+
+
 @dataclass(frozen=True)
 class OptimizerConfig(SerializableConfig):
     """Adam optimizer settings (paper: Adam, weight decay 1e-4)."""
@@ -115,6 +164,7 @@ class TrainerConfig(SerializableConfig):
 
     encoder: EncoderConfig = field(default_factory=EncoderConfig)
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
     max_epochs: int = 20
     batch_size: int = 2048
     temperature: float = 0.7
@@ -169,12 +219,14 @@ class OpenIMAConfig(SerializableConfig):
 
 def fast_config(max_epochs: int = 8, seed: int = 0, encoder_kind: str = "gcn",
                 batch_size: int = 512, backend: str = "sparse",
-                eval_every: int = 0) -> TrainerConfig:
+                eval_every: int = 0,
+                sampling: Optional[SamplingConfig] = None) -> TrainerConfig:
     """A small configuration used by tests, the CLI, and the benchmark harness."""
     return TrainerConfig(
         encoder=EncoderConfig(kind=encoder_kind, hidden_dim=32, out_dim=16, num_heads=2,
                               dropout=0.3, backend=backend),
         optimizer=OptimizerConfig(learning_rate=5e-3, weight_decay=1e-4),
+        sampling=sampling if sampling is not None else SamplingConfig(),
         max_epochs=max_epochs,
         batch_size=batch_size,
         seed=seed,

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..datasets.splits import OpenWorldDataset
 from ..gnn import ClassificationHead, build_encoder
+from ..graphs.sampling import NeighborSampler
 from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.optim import Adam
@@ -77,6 +78,30 @@ class GraphTrainer:
             lr=config.optimizer.learning_rate,
             weight_decay=config.optimizer.weight_decay,
         )
+        # Neighborhood sampling: in "khop"/"sampled" mode each training step
+        # runs the encoder on the batch's receptive-field subgraph instead of
+        # the full graph (see SamplingConfig and repro.graphs.sampling).
+        sampling = config.sampling
+        self._sampling_rng: Optional[np.random.Generator] = (
+            None if sampling.seed is None else np.random.default_rng(sampling.seed)
+        )
+        self._sampler: Optional[NeighborSampler] = None
+        if sampling.mode != "full":
+            depth = getattr(self.encoder, "num_message_passing_layers", None)
+            if sampling.mode == "khop" and depth is not None and sampling.num_hops < depth:
+                raise ValueError(
+                    f"sampling.num_hops={sampling.num_hops} does not cover the "
+                    f"encoder's {depth} message-passing layers; khop mode would "
+                    "silently train on truncated receptive fields — raise "
+                    "num_hops or use mode='sampled' for approximate expansion"
+                )
+            self._sampler = NeighborSampler(
+                dataset.graph,
+                num_hops=sampling.num_hops,
+                fanouts=sampling.fanouts if sampling.mode == "sampled" else None,
+                rng=self._sampling_rng if self._sampling_rng is not None else self.rng,
+            )
+
         self.history = TrainingHistory()
         #: Number of completed training epochs (advanced by :meth:`fit`,
         #: restored by the checkpoint loader so ``fit`` resumes seamlessly).
@@ -126,29 +151,53 @@ class GraphTrainer:
         """Restore arrays produced by :meth:`extra_state`."""
 
     def rng_state(self) -> dict:
-        """JSON-serializable state of the trainer's random generator."""
-        return self.rng.bit_generator.state
+        """JSON-serializable state of the trainer's random generators.
+
+        Returns ``{"trainer": <state>}`` plus a ``"sampling"`` entry when a
+        dedicated fanout-sampling generator exists (``sampling.seed`` set).
+        """
+        state = {"trainer": self.rng.bit_generator.state}
+        if self._sampling_rng is not None:
+            state["sampling"] = self._sampling_rng.bit_generator.state
+        return state
 
     def set_rng_state(self, state: dict) -> None:
         """Restore the generator state captured by :meth:`rng_state`.
 
-        Encoder dropout layers share this generator instance, so restoring
-        it makes a resumed run draw the exact noise an uninterrupted run
-        would have drawn.
+        Encoder dropout layers (and, unless ``sampling.seed`` is set, the
+        neighborhood sampler) share the trainer generator, so restoring it
+        makes a resumed run draw the exact noise an uninterrupted run would
+        have drawn.  Accepts both the current ``{"trainer": ...}`` layout
+        and the bare numpy state stored by pre-sampling checkpoints.
         """
-        self.rng.bit_generator.state = state
+        if "trainer" in state:
+            self.rng.bit_generator.state = state["trainer"]
+            sampling_state = state.get("sampling")
+            if sampling_state is not None and self._sampling_rng is not None:
+                self._sampling_rng.bit_generator.state = sampling_state
+        else:
+            self.rng.bit_generator.state = state
 
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
     def _iterate_batches(self) -> Iterator[np.ndarray]:
         num_nodes = self.dataset.graph.num_nodes
+        if num_nodes < 2:
+            # A lone node cannot form a dropout-contrastive pair.
+            return
         order = self.rng.permutation(num_nodes)
-        batch_size = min(self.config.batch_size, num_nodes)
-        for start in range(0, num_nodes, batch_size):
-            batch = order[start: start + batch_size]
-            if batch.shape[0] >= 2:
-                yield batch
+        batch_size = max(2, min(self.config.batch_size, num_nodes))
+        start = 0
+        while start < num_nodes:
+            end = start + batch_size
+            if num_nodes - end < 2:
+                # Fold a trailing remainder that is too small to stand alone
+                # into this batch, so every node gets gradient signal every
+                # epoch (a lone leftover node used to be dropped silently).
+                end = num_nodes
+            yield order[start:end]
+            start = end
 
     def fit(self, callbacks: Optional[Iterable[Callback]] = None,
             max_epochs: Optional[int] = None) -> TrainingHistory:
@@ -195,16 +244,34 @@ class GraphTrainer:
 
     def _train_step(self, batch_nodes: np.ndarray) -> float:
         self.optimizer.zero_grad()
-        # Two stochastic forward passes through the encoder provide the
-        # dropout-based positive pairs (SimCSE / paper Section IV-C).
-        full_view1 = self.encoder(self.dataset.graph)
-        full_view2 = self.encoder(self.dataset.graph)
-        view1 = full_view1.gather_rows(batch_nodes)
-        view2 = full_view2.gather_rows(batch_nodes)
+        view1, view2 = self._batch_views(batch_nodes)
         loss = self.compute_loss(view1, view2, batch_nodes)
         loss.backward()
         self.optimizer.step()
         return float(loss.data)
+
+    def _batch_views(self, batch_nodes: np.ndarray) -> tuple:
+        """Two stochastic encoder views of the batch rows.
+
+        The two dropout-noised forward passes provide the positive pairs
+        (SimCSE / paper Section IV-C).  In ``"full"`` sampling mode both
+        passes cover the whole graph; in ``"khop"``/``"sampled"`` mode the
+        encoder runs on the batch's receptive-field subgraph and the batch
+        rows are gathered through the local node-id mapping.  Either way
+        ``compute_loss`` receives rows aligned with the *global*
+        ``batch_nodes`` ids, so subclass label/pseudo-label lookups are
+        sampling-agnostic.
+        """
+        if self._sampler is None:
+            full_view1 = self.encoder(self.dataset.graph)
+            full_view2 = self.encoder(self.dataset.graph)
+            return (full_view1.gather_rows(batch_nodes),
+                    full_view2.gather_rows(batch_nodes))
+        batch = self._sampler.sample(batch_nodes)
+        sub_view1 = self.encoder(batch.graph)
+        sub_view2 = self.encoder(batch.graph)
+        return (sub_view1.gather_rows(batch.seed_local),
+                sub_view2.gather_rows(batch.seed_local))
 
     # ------------------------------------------------------------------
     # Evaluation helpers

@@ -73,6 +73,13 @@ def _add_training_options(parser: argparse.ArgumentParser) -> None:
                         help="message-passing backend (default: sparse)")
     parser.add_argument("--eval-every", type=int, default=0,
                         help="record open-world accuracy every N epochs (0 disables)")
+    parser.add_argument("--sampling-mode", choices=("full", "khop", "sampled"),
+                        default="full",
+                        help="mini-batch neighborhood sampling: full-graph "
+                             "forward per batch (full), exact receptive-field "
+                             "subgraph (khop), or fanout-capped expansion "
+                             "(sampled); fine-tune with --set "
+                             "sampling.fanouts=[10,10] etc. (default: full)")
     parser.add_argument("--output", type=str, default=None,
                         help="optional path for a JSON copy of the results")
 
@@ -165,6 +172,7 @@ def experiment_config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         end_to_end_epochs=args.end_to_end_epochs,
         backend=args.backend,
         eval_every=args.eval_every,
+        sampling_mode=args.sampling_mode,
     )
 
 
@@ -222,13 +230,14 @@ def _deep_merge(base: dict, updates: dict) -> dict:
 
 def _handle_run(args: argparse.Namespace) -> dict:
     from ..api import OpenWorldClassifier
-    from ..core.config import OpenIMAConfig, fast_config
+    from ..core.config import OpenIMAConfig, SamplingConfig, fast_config
 
     spec = get_method(args.method)
     trainer_config = fast_config(
         max_epochs=args.epochs, seed=args.seed,
         encoder_kind=args.encoder, batch_size=args.batch_size,
         backend=args.backend, eval_every=args.eval_every,
+        sampling=SamplingConfig(mode=args.sampling_mode),
     )
 
     overrides = parse_set_overrides(args.overrides)

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.config import TrainerConfig, fast_config
+from ..core.config import SamplingConfig, TrainerConfig, fast_config
 from ..core.registry import METHODS
 from ..core.trainer import GraphTrainer
 from ..datasets.synthetic import load_open_world_dataset
@@ -106,6 +106,9 @@ class ExperimentConfig:
     paper's default) or GCN (a faster encoder used by the benchmark suite).
     End-to-end methods get ``end_to_end_epochs`` (paper: a larger budget than
     the two-stage methods); it defaults to three times ``max_epochs``.
+    ``sampling_mode`` selects the trainer's mini-batch neighborhood sampling
+    (``full`` / ``khop`` / ``sampled``, see
+    :class:`repro.core.config.SamplingConfig`).
     """
 
     scale: float = 0.35
@@ -117,6 +120,7 @@ class ExperimentConfig:
     end_to_end_epochs: Optional[int] = None
     backend: str = "sparse"
     eval_every: int = 0
+    sampling_mode: str = "full"
 
     def epochs_for(self, method: str) -> int:
         key = method.lower()
@@ -136,6 +140,7 @@ class ExperimentConfig:
             batch_size=self.batch_size,
             backend=self.backend,
             eval_every=self.eval_every,
+            sampling=SamplingConfig(mode=self.sampling_mode),
         )
 
 

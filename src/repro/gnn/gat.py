@@ -189,6 +189,9 @@ class GATEncoder(Module):
             rng=rng,
         )
         self.out_dim = out_dim
+        #: Message-passing depth == receptive-field hops a node's output needs
+        #: (checked against ``sampling.num_hops`` by exact khop training).
+        self.num_message_passing_layers = 2
 
     def forward(self, graph: Graph) -> Tensor:
         edge_index = add_self_loops(graph.edge_index, graph.num_nodes)

@@ -80,6 +80,9 @@ class GCNEncoder(Module):
         self.layer2 = GCNLayer(hidden_dim, out_dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng)
         self.out_dim = out_dim
+        #: Message-passing depth == receptive-field hops a node's output needs
+        #: (checked against ``sampling.num_hops`` by exact khop training).
+        self.num_message_passing_layers = 2
         self.backend = check_backend(backend)
         self._cached_propagation: Optional[Propagation] = None
         # Weak reference to the graph whose densified matrix is cached: a

@@ -7,6 +7,12 @@ from .generators import (
     generate_two_gaussian_samples,
 )
 from .graph import Graph
+from .sampling import (
+    NeighborSampler,
+    SubgraphBatch,
+    build_edge_csr,
+    khop_subgraph,
+)
 from .utils import (
     add_self_loops,
     edge_homophily,
@@ -19,6 +25,10 @@ from .utils import (
 
 __all__ = [
     "Graph",
+    "NeighborSampler",
+    "SubgraphBatch",
+    "build_edge_csr",
+    "khop_subgraph",
     "SBMConfig",
     "generate_sbm_graph",
     "generate_two_gaussian_samples",

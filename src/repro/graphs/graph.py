@@ -31,6 +31,17 @@ class Graph:
         graphs.
     name:
         Optional human-readable name (e.g. the dataset profile name).
+
+    Mutability contract
+    -------------------
+    Derived structures (:meth:`adjacency`, :meth:`propagation`,
+    :meth:`edge_csr`) are cached on first use and assume the graph never
+    changes afterwards.  Treat a graph as immutable once constructed: prefer
+    building a new one (:meth:`copy`, :meth:`subgraph`,
+    ``dataclasses.replace``) over reassigning fields.  Any code that does
+    reassign ``features``, ``edge_index``, or ``labels`` in place MUST call
+    :meth:`invalidate_caches` afterwards — otherwise the cached matrices
+    silently keep describing the old graph.
     """
 
     features: np.ndarray
@@ -39,6 +50,7 @@ class Graph:
     name: str = ""
     _adjacency_cache: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
     _propagation_cache: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+    _csr_cache: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         self.features = np.asarray(self.features, dtype=np.float64)
@@ -49,8 +61,26 @@ class Graph:
             self.labels = np.asarray(self.labels, dtype=np.int64)
             if self.labels.shape[0] != self.features.shape[0]:
                 raise ValueError("labels must have one entry per node")
-        if self.edge_index.size and self.edge_index.max() >= self.num_nodes:
-            raise ValueError("edge_index refers to a node that does not exist")
+        if self.edge_index.size:
+            if self.edge_index.min() < 0:
+                raise ValueError("edge_index contains negative node ids")
+            if self.edge_index.max() >= self.num_nodes:
+                raise ValueError("edge_index refers to a node that does not exist")
+        # ``dataclasses.replace`` passes the donor's cache fields through the
+        # constructor; they may describe different fields, so start fresh.
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached derived structure.
+
+        Must be called after reassigning ``features``/``edge_index``/
+        ``labels`` on an existing instance (see the class docstring); the
+        next :meth:`adjacency` / :meth:`propagation` / :meth:`edge_csr` call
+        rebuilds from the current fields.
+        """
+        self._adjacency_cache = None
+        self._propagation_cache = None
+        self._csr_cache = None
 
     # -- basic properties -------------------------------------------------
     @property
@@ -110,10 +140,22 @@ class Graph:
         np.add.at(counts, self.edge_index[0], 1)
         return counts
 
+    def edge_csr(self) -> tuple:
+        """CSR view ``(indptr, indices)`` of the edge list, grouped by source.
+
+        Cached; preserves edge multiplicity and the relative order edges
+        have in ``edge_index``.
+        """
+        if self._csr_cache is None:
+            from .sampling import build_edge_csr
+
+            self._csr_cache = build_edge_csr(self.edge_index, self.num_nodes)
+        return self._csr_cache
+
     def neighbors(self, node: int) -> np.ndarray:
-        """Return the targets of edges leaving ``node``."""
-        mask = self.edge_index[0] == node
-        return self.edge_index[1][mask]
+        """Return the targets of edges leaving ``node`` (O(degree) lookup)."""
+        indptr, indices = self.edge_csr()
+        return indices[indptr[node]: indptr[node + 1]]
 
     def copy(self) -> "Graph":
         """Deep copy of the graph (caches are not copied)."""

@@ -10,6 +10,7 @@ from repro.core.config import (
     EncoderConfig,
     OpenIMAConfig,
     OptimizerConfig,
+    SamplingConfig,
     TrainerConfig,
     fast_config,
 )
@@ -17,7 +18,9 @@ from repro.core.config import (
 ALL_CONFIGS = [
     EncoderConfig(kind="gcn", hidden_dim=48, backend="dense"),
     OptimizerConfig(learning_rate=3e-3, weight_decay=0.0),
+    SamplingConfig(mode="sampled", num_hops=3, fanouts=[5, 5, 5], seed=2),
     fast_config(max_epochs=5, seed=3, encoder_kind="gat"),
+    fast_config(sampling=SamplingConfig(mode="khop")),
     OpenIMAConfig(eta=2.5, rho=50.0, large_scale=True, num_novel_classes=4),
 ]
 
@@ -51,6 +54,34 @@ class TestRoundTrip:
         encoder = EncoderConfig(kind="gcn")
         config = TrainerConfig.from_dict({"encoder": encoder})
         assert config.encoder == encoder
+
+
+class TestSamplingConfig:
+    def test_trainer_config_nests_sampling_dict(self):
+        config = TrainerConfig.from_dict(
+            {"sampling": {"mode": "khop", "num_hops": 3}})
+        assert config.sampling == SamplingConfig(mode="khop", num_hops=3)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampling mode"):
+            SamplingConfig(mode="turbo")
+
+    def test_bad_num_hops_rejected(self):
+        with pytest.raises(ValueError, match="num_hops"):
+            SamplingConfig(num_hops=0)
+
+    def test_fanout_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one cap per hop"):
+            SamplingConfig(mode="sampled", num_hops=2, fanouts=[4])
+
+    def test_sampled_mode_fills_default_fanouts(self):
+        config = SamplingConfig(mode="sampled", num_hops=3)
+        assert config.fanouts == [10, 10, 10]
+        # The filled-in value round-trips.
+        assert SamplingConfig.from_dict(config.to_dict()) == config
+
+    def test_full_mode_keeps_fanouts_none(self):
+        assert SamplingConfig().fanouts is None
 
 
 class TestValidation:

@@ -122,6 +122,28 @@ class TestGraphTrainer:
             small_dataset.graph.num_nodes, trainer.label_space.num_total
         )
 
+    def test_trailing_remainder_folded_into_last_batch(self, small_dataset):
+        # 160 nodes with batch_size 53 leaves a remainder of 1, which used to
+        # be dropped silently — that node got zero gradient signal per epoch.
+        config = fast_config(max_epochs=1, encoder_kind="gcn", batch_size=53)
+        trainer = GraphTrainer(small_dataset, config)
+        batches = list(trainer._iterate_batches())
+        sizes = [batch.shape[0] for batch in batches]
+        assert sizes == [53, 53, 54]
+        covered = np.concatenate(batches)
+        assert covered.shape[0] == small_dataset.graph.num_nodes
+        np.testing.assert_array_equal(np.sort(covered),
+                                      np.arange(small_dataset.graph.num_nodes))
+
+    def test_every_batch_has_at_least_two_nodes(self, small_dataset):
+        for batch_size in (2, 3, 7, 53, 159, 160, 1000):
+            config = fast_config(max_epochs=1, encoder_kind="gcn",
+                                 batch_size=batch_size)
+            trainer = GraphTrainer(small_dataset, config)
+            batches = list(trainer._iterate_batches())
+            assert all(batch.shape[0] >= 2 for batch in batches)
+            assert sum(batch.shape[0] for batch in batches) == 160
+
     def test_deterministic_training_given_seed(self, small_dataset):
         config = fast_config(max_epochs=2, encoder_kind="gcn", batch_size=64)
         trainer_a = InfoNCETrainer(small_dataset, config)

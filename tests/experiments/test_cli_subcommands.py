@@ -84,6 +84,24 @@ class TestRunCommand:
         result = main(TINY_RUN + ["--backend", "dense"])
         assert result["epochs_trained"] == 1
 
+    def test_run_khop_sampling_flag(self):
+        result = main(TINY_RUN + ["--sampling-mode", "khop"])
+        assert result["epochs_trained"] == 1
+        assert np.isfinite(result["accuracy"]["all"])
+
+    def test_run_sampling_via_set_override(self):
+        result = main(["run", "--method", "infonce", "--dataset", "citeseer",
+                       "--epochs", "1", "--scale", "0.15",
+                       "--set", "sampling.mode=sampled",
+                       "--set", "sampling.fanouts=[4,4]"])
+        assert result["epochs_trained"] == 1
+
+    def test_sampling_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(TINY_RUN + ["--sampling-mode", "everything"])
+        args = build_parser().parse_args(["table3", "--sampling-mode", "khop"])
+        assert args.sampling_mode == "khop"
+
     def test_unknown_set_key_fails_loudly(self):
         with pytest.raises(ValueError, match="unknown OpenIMAConfig keys"):
             main(TINY_RUN + ["--set", "etaa=1.0"])

@@ -32,6 +32,12 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Graph(features=np.eye(2), edge_index=np.array([[0, 5], [1, 0]]))
 
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Graph(features=np.eye(2), edge_index=np.array([[-1], [0]]))
+        with pytest.raises(ValueError, match="negative"):
+            Graph(features=np.eye(2), edge_index=np.array([[0], [-3]]))
+
     def test_label_length_mismatch(self):
         with pytest.raises(ValueError):
             Graph(features=np.eye(3), edge_index=np.zeros((2, 0), dtype=int),
@@ -62,6 +68,24 @@ class TestDerivedStructures:
         graph = make_triangle_graph()
         assert set(graph.neighbors(1)) == {0, 2}
 
+    def test_neighbors_preserves_multiplicity_and_order(self):
+        # Duplicate directed edge 0->2 plus 0->1, listed out of source order.
+        graph = Graph(
+            features=np.eye(3),
+            edge_index=np.array([[1, 0, 0, 0], [0, 2, 1, 2]]),
+        )
+        np.testing.assert_array_equal(graph.neighbors(0), [2, 1, 2])
+        np.testing.assert_array_equal(graph.neighbors(1), [0])
+        assert graph.neighbors(2).size == 0
+
+    def test_neighbors_matches_edge_scan(self):
+        rng = np.random.default_rng(0)
+        edge_index = rng.integers(12, size=(2, 60))
+        graph = Graph(features=np.eye(12), edge_index=edge_index)
+        for node in range(12):
+            expected = edge_index[1][edge_index[0] == node]
+            np.testing.assert_array_equal(graph.neighbors(node), expected)
+
     def test_copy_is_independent(self):
         graph = make_triangle_graph()
         clone = graph.copy()
@@ -69,6 +93,32 @@ class TestDerivedStructures:
         assert graph.features[0, 0] == 1.0
         clone.labels[0] = 5
         assert graph.labels[0] == 0
+
+
+class TestCacheInvalidation:
+    def test_stale_caches_cleared_by_invalidate(self):
+        graph = make_triangle_graph()
+        stale_adjacency = graph.adjacency()
+        stale_propagation = graph.propagation()
+        graph.neighbors(0)  # builds the CSR cache
+
+        graph.edge_index = np.array([[0, 1], [1, 0]])  # mutation: 0-1 edge only
+        # Without invalidation the caches still describe the triangle.
+        assert graph.adjacency() is stale_adjacency
+
+        graph.invalidate_caches()
+        assert graph.adjacency().nnz == 2
+        assert graph.propagation() is not stale_propagation
+        assert graph.neighbors(2).size == 0
+        np.testing.assert_array_equal(graph.neighbors(0), [1])
+
+    def test_dataclasses_replace_does_not_inherit_stale_caches(self):
+        import dataclasses
+
+        graph = make_triangle_graph()
+        graph.adjacency()
+        replaced = dataclasses.replace(graph, edge_index=np.array([[0], [1]]))
+        assert replaced.adjacency().nnz == 1
 
 
 class TestSubgraph:
