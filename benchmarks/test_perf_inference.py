@@ -1,0 +1,151 @@
+"""Full vs layer-wise all-node inference: wall-clock and peak memory.
+
+``encoder.embed`` runs the monolithic forward: even under ``no_grad`` every
+intermediate tensor of every layer stays reachable through the output's
+parent chain until the result is dropped, so peak memory grows with the sum
+of all layer activations.  ``LayerwiseInference`` evaluates the same
+function layer by layer in node chunks — at any moment only the previous
+layer's activations, the layer being filled, and a chunk-sized temporary
+are alive — with embeddings matching ``embed`` to 1e-8.
+
+Measured here for a GCN (sparse backend, hidden 64 -> out 32) and a GAT
+(8 heads) at 10k and 50k nodes: warm-pass wall-clock (best-of-``REPEATS``)
+and the tracemalloc high-water mark of one warm pass (propagation/attention
+caches pre-built by a warm-up pass, so the peak is the pass itself, not
+graph preprocessing).
+
+Results are appended to ``benchmarks/results/perf_inference.txt``.
+The acceptance headline: layer-wise peak memory measurably below the full
+forward at 50k nodes — on GAT the full pass materializes per-edge message
+tensors (~2 GB at 50k nodes), layer-wise stays bounded by the chunk size
+(measured >= 5x lower); on GCN the saving is smaller (~1.3x) because the
+monolithic pass is already linear in N.  At 10k nodes the default chunk is
+half the graph, so GCN layer-wise has no memory edge there — only parity
+and the timing report are checked for that cell.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.gnn import GATEncoder, GCNEncoder
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+from repro.inference import LayerwiseInference
+
+AVG_DEGREE = 8
+NUM_FEATURES = 32
+HIDDEN_DIM = 64
+OUT_DIM = 32
+CHUNK_SIZE = 4096
+REPEATS = 3
+
+_graphs: dict = {}
+_measurements: dict = {}
+_report_lines: list = []
+
+
+def synthetic_graph(num_nodes: int, seed: int = 0) -> Graph:
+    if num_nodes not in _graphs:
+        rng = np.random.default_rng(seed)
+        num_edges = num_nodes * AVG_DEGREE // 2
+        src = rng.integers(num_nodes, size=num_edges)
+        dst = rng.integers(num_nodes, size=num_edges)
+        _graphs[num_nodes] = Graph(
+            features=rng.normal(size=(num_nodes, NUM_FEATURES)),
+            edge_index=symmetrize_edges(np.vstack([src, dst])),
+            name=f"perf-inference-{num_nodes}",
+        )
+    return _graphs[num_nodes]
+
+
+def build_encoder(kind: str):
+    rng = np.random.default_rng(0)
+    if kind == "gcn":
+        encoder = GCNEncoder(NUM_FEATURES, hidden_dim=HIDDEN_DIM, out_dim=OUT_DIM,
+                             dropout=0.0, rng=rng)
+    else:
+        encoder = GATEncoder(NUM_FEATURES, hidden_dim=HIDDEN_DIM, out_dim=OUT_DIM,
+                             num_heads=8, dropout=0.0, rng=rng)
+    # Non-zero biases/perturbed weights so the measurement covers the same
+    # arithmetic a trained model would run.
+    perturb = np.random.default_rng(1)
+    for param in encoder.parameters():
+        param.data = param.data + perturb.normal(scale=0.1, size=param.data.shape)
+    return encoder
+
+
+def measure(kind: str, num_nodes: int, mode: str) -> dict:
+    """Warm-pass time (best of N) and warm-pass tracemalloc peak."""
+    key = (kind, num_nodes, mode)
+    if key in _measurements:
+        return _measurements[key]
+    graph = synthetic_graph(num_nodes)
+    encoder = build_encoder(kind)
+    layerwise = LayerwiseInference(chunk_size=CHUNK_SIZE)
+
+    def run() -> np.ndarray:
+        if mode == "layerwise":
+            return layerwise.run(encoder, graph)
+        return encoder.embed(graph)
+
+    run()  # warm-up: builds propagation / CSR caches
+    tracemalloc.start()
+    result_embeddings = run()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+
+    result = {"time": min(times), "peak_bytes": peak,
+              "embeddings": result_embeddings}
+    _measurements[key] = result
+    _report_lines.append(
+        f"{kind:>3}  n={num_nodes:>6}  mode={mode:<9}  "
+        f"pass={result['time'] * 1e3:9.2f} ms  peak={peak / 1e6:8.1f} MB"
+    )
+    save_report("perf_inference", "\n".join(_report_lines))
+    return result
+
+
+@pytest.mark.parametrize("kind,num_nodes", [("gcn", 10_000), ("gcn", 50_000),
+                                            ("gat", 10_000), ("gat", 50_000)])
+def test_layerwise_matches_full(kind, num_nodes):
+    full = measure(kind, num_nodes, "full")
+    layerwise = measure(kind, num_nodes, "layerwise")
+    np.testing.assert_allclose(layerwise["embeddings"], full["embeddings"],
+                               rtol=0.0, atol=1e-8)
+
+
+@pytest.mark.parametrize("kind,num_nodes", [("gcn", 50_000), ("gat", 10_000),
+                                            ("gat", 50_000)])
+def test_layerwise_peak_memory_below_full(kind, num_nodes):
+    full = measure(kind, num_nodes, "full")
+    layerwise = measure(kind, num_nodes, "layerwise")
+    ratio = full["peak_bytes"] / layerwise["peak_bytes"]
+    _report_lines.append(
+        f"{kind} @{num_nodes}: full/layerwise peak ratio {ratio:.2f}x")
+    save_report("perf_inference", "\n".join(_report_lines))
+    # Measurably lower, with headroom for allocator noise.
+    assert layerwise["peak_bytes"] <= 0.9 * full["peak_bytes"]
+
+
+def test_layerwise_memory_headline_at_50k():
+    """Acceptance: far lower peak than the full GAT forward at 50k nodes."""
+    full = measure("gat", 50_000, "full")
+    layerwise = measure("gat", 50_000, "layerwise")
+    ratio = full["peak_bytes"] / layerwise["peak_bytes"]
+    _report_lines.append(f"headline @50k (gat): {ratio:.2f}x lower peak")
+    save_report("perf_inference", "\n".join(_report_lines))
+    # The full pass materializes per-edge message tensors; layer-wise must
+    # cut the high-water mark at least in half (measured ~7-8x).
+    assert layerwise["peak_bytes"] <= 0.5 * full["peak_bytes"]

@@ -8,6 +8,8 @@ organised as:
 * :mod:`repro.datasets` — synthetic profiles of the paper's seven benchmarks
   and the open-world train/val/test split protocol.
 * :mod:`repro.gnn` — GAT / GCN encoders and classification heads.
+* :mod:`repro.inference` — layer-wise all-node inference engine with a
+  parameter-version-keyed embedding cache.
 * :mod:`repro.clustering` — K-Means (full, mini-batch, semi-supervised) and
   the silhouette coefficient.
 * :mod:`repro.assignment` — Hungarian algorithm and cluster-class alignment.
@@ -40,6 +42,7 @@ from . import (
     experiments,
     gnn,
     graphs,
+    inference,
     metrics,
     nn,
     theory,
@@ -56,6 +59,7 @@ __all__ = [
     "graphs",
     "datasets",
     "gnn",
+    "inference",
     "clustering",
     "assignment",
     "metrics",

@@ -27,10 +27,11 @@ from typing import Iterable, Mapping, Optional, Union
 import numpy as np
 
 from ..core.callbacks import Callback
-from ..core.config import SerializableConfig, TrainerConfig
+from ..core.config import InferenceConfig, SerializableConfig, TrainerConfig
 from ..core.inference import InferenceResult
 from ..core.registry import METHODS, MethodSpec
 from ..core.trainer import GraphTrainer, TrainingHistory
+from ..inference import InferenceEngine
 from ..datasets.splits import OpenWorldDataset
 from ..datasets.synthetic import load_open_world_dataset
 from ..metrics.accuracy import OpenWorldAccuracy
@@ -162,8 +163,37 @@ class OpenWorldClassifier:
         return self._require_fitted().evaluate()
 
     def embed(self) -> np.ndarray:
-        """Deterministic (dropout-free) node embeddings."""
+        """Deterministic (dropout-free) node embeddings.
+
+        Served by the trainer's :class:`~repro.inference.InferenceEngine`:
+        repeated calls against unchanged parameters reuse one embedding
+        pass, and layerwise mode bounds peak memory on large graphs (see
+        :meth:`configure_inference`).  The returned array is read-only when
+        cached; copy before mutating.
+        """
         return self._require_fitted().node_embeddings()
+
+    def configure_inference(
+        self, inference: Union[InferenceConfig, Mapping]
+    ) -> "OpenWorldClassifier":
+        """Swap the fitted model's inference settings (mode/chunking/cache).
+
+        Accepts an :class:`~repro.core.config.InferenceConfig` or a plain
+        dict (strict keys), e.g. ``{"mode": "layerwise", "chunk_size":
+        8192}``.  The change is recorded in the config, so subsequent
+        :meth:`save` calls persist it.
+        """
+        if isinstance(inference, Mapping):
+            inference = InferenceConfig.from_dict(inference)
+        trainer = self._require_fitted()
+        trainer.configure_inference(inference)
+        self.config = trainer.full_config
+        return self
+
+    @property
+    def inference_engine(self) -> InferenceEngine:
+        """The fitted trainer's inference engine (forward/cache counters)."""
+        return self._require_fitted().inference_engine
 
     @property
     def history(self) -> TrainingHistory:

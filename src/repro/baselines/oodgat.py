@@ -72,9 +72,11 @@ class OODGATTrainer(GraphTrainer):
         return loss
 
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
         """Seen-class prediction by the head; OOD nodes clustered by K-Means."""
-        embeddings = self.node_embeddings()
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         num_novel = (
             num_novel_classes if num_novel_classes is not None else self.label_space.num_novel
         )

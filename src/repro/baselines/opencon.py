@@ -134,8 +134,10 @@ class OpenConTrainer(GraphTrainer):
     # Prediction
     # ------------------------------------------------------------------
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
-        embeddings = self.node_embeddings()
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         predictions = head_predict(
             embeddings,
             self.head.linear.weight.data,
@@ -171,8 +173,10 @@ class OpenConTwoStageTrainer(OpenConTrainer):
     method_name = "OpenCon-TwoStage"
 
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
-        return GraphTrainer.predict(self, num_novel_classes=num_novel_classes, seed=seed)
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
+        return GraphTrainer.predict(self, num_novel_classes=num_novel_classes,
+                                    seed=seed, embeddings=embeddings)
 
 
 def _l2_rows(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:

@@ -90,8 +90,10 @@ class OpenWGLTrainer(GraphTrainer):
         return accumulated / num_samples
 
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
-        embeddings = self.node_embeddings()
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         num_novel = (
             num_novel_classes if num_novel_classes is not None else self.label_space.num_novel
         )

@@ -96,9 +96,11 @@ class ORCATrainer(GraphTrainer):
         return loss
 
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
         """End-to-end prediction with the classification head."""
-        embeddings = self.node_embeddings()
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         predictions = head_predict(
             embeddings,
             self.head.linear.weight.data,

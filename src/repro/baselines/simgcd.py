@@ -81,8 +81,10 @@ class SimGCDTrainer(GraphTrainer):
         return loss
 
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
-        embeddings = self.node_embeddings()
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         predictions = head_predict(
             embeddings,
             self.head.linear.weight.data,

@@ -11,6 +11,7 @@ from .callbacks import (
 )
 from .config import (
     EncoderConfig,
+    InferenceConfig,
     OpenIMAConfig,
     OptimizerConfig,
     SamplingConfig,
@@ -46,6 +47,7 @@ from .trainer import GraphTrainer, TrainingHistory
 
 __all__ = [
     "EncoderConfig",
+    "InferenceConfig",
     "OptimizerConfig",
     "SamplingConfig",
     "TrainerConfig",

@@ -123,6 +123,10 @@ class EvaluationCallback(Callback):
 
     This is the callback form of the legacy ``TrainerConfig.eval_every``
     setting; the trainer installs it automatically when ``eval_every > 0``.
+    The node embeddings are computed once and passed through explicitly, so
+    an evaluation epoch costs a single encoder forward even when the
+    trainer's embedding cache is disabled; the engine's forward/cache
+    counters are exposed to later callbacks as ``logs["inference"]``.
     """
 
     def __init__(self, every: int):
@@ -132,9 +136,11 @@ class EvaluationCallback(Callback):
 
     def on_epoch_end(self, trainer, epoch, logs) -> None:
         if (epoch + 1) % self.every == 0:
-            accuracy = trainer.evaluate()
+            embeddings = trainer.node_embeddings()
+            accuracy = trainer.evaluate(embeddings=embeddings)
             trainer.history.record_evaluation(epoch, accuracy)
             logs["accuracy"] = accuracy.overall
+            logs["inference"] = trainer.inference_engine.stats()
 
 
 class PeriodicCheckpoint(Callback):

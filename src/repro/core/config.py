@@ -145,6 +145,51 @@ class SamplingConfig(SerializableConfig):
         object.__setattr__(self, "fanouts", fanouts)
 
 
+#: Valid ``InferenceConfig.mode`` values.
+INFERENCE_MODES = ("auto", "full", "layerwise")
+
+
+@dataclass(frozen=True)
+class InferenceConfig(SerializableConfig):
+    """Deterministic all-node inference settings (``repro.inference``).
+
+    Attributes
+    ----------
+    mode:
+        ``"full"`` runs the encoder's monolithic ``embed`` forward;
+        ``"layerwise"`` computes embeddings layer by layer in node chunks
+        (same result to 1e-8, bounded peak memory); ``"auto"`` (default)
+        picks layerwise once the graph has at least ``auto_threshold``
+        nodes.
+    chunk_size:
+        Number of node rows computed per chunk in layerwise mode.
+    cache:
+        Reuse one embedding pass across pseudo-label refresh, evaluation,
+        validation accuracy, and prediction while the encoder parameters are
+        unchanged (keyed by the parameter version counter, so stale reuse is
+        impossible).
+    auto_threshold:
+        Node count at which ``mode="auto"`` switches to layerwise.
+    """
+
+    mode: str = "auto"
+    chunk_size: int = 4096
+    cache: bool = True
+    auto_threshold: int = 32768
+
+    def __post_init__(self):
+        if self.mode not in INFERENCE_MODES:
+            raise ValueError(
+                f"unknown inference mode {self.mode!r}; expected one of {INFERENCE_MODES}"
+            )
+        if int(self.chunk_size) < 1:
+            raise ValueError(f"inference chunk_size must be >= 1, got {self.chunk_size}")
+        if int(self.auto_threshold) < 0:
+            raise ValueError(
+                f"inference auto_threshold must be >= 0, got {self.auto_threshold}"
+            )
+
+
 @dataclass(frozen=True)
 class OptimizerConfig(SerializableConfig):
     """Adam optimizer settings (paper: Adam, weight decay 1e-4)."""
@@ -165,6 +210,7 @@ class TrainerConfig(SerializableConfig):
     encoder: EncoderConfig = field(default_factory=EncoderConfig)
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
     max_epochs: int = 20
     batch_size: int = 2048
     temperature: float = 0.7

@@ -24,7 +24,6 @@ import numpy as np
 from typing import Dict
 
 from ..datasets.splits import OpenWorldDataset
-from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 from .config import OpenIMAConfig, TrainerConfig
@@ -95,6 +94,12 @@ class OpenIMATrainer(GraphTrainer):
     @property
     def full_config(self) -> OpenIMAConfig:
         return self.openima_config
+
+    def configure_inference(self, inference) -> None:
+        super().configure_inference(inference)
+        # Keep the nested trainer section in sync so checkpoints written
+        # after the swap persist the new inference settings.
+        self.openima_config = self.openima_config.with_updates(trainer=self.config)
 
     def extra_state(self) -> Dict[str, np.ndarray]:
         # The pseudo-label lookup is the only cross-epoch state the loss
@@ -217,11 +222,14 @@ class OpenIMATrainer(GraphTrainer):
     # Inference
     # ------------------------------------------------------------------
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
         """Two-stage inference (default) or head-based inference (large graphs)."""
         if not self.openima_config.large_scale:
-            return super().predict(num_novel_classes=num_novel_classes, seed=seed)
-        embeddings = self.node_embeddings()
+            return super().predict(num_novel_classes=num_novel_classes, seed=seed,
+                                   embeddings=embeddings)
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         predictions = head_predict(
             embeddings,
             self.head.linear.weight.data,
@@ -247,16 +255,6 @@ class OpenIMATrainer(GraphTrainer):
             alignment=two_stage.alignment,
             label_space=self.label_space,
         )
-
-    def evaluate(self, num_novel_classes: Optional[int] = None) -> OpenWorldAccuracy:
-        result = self.predict(num_novel_classes=num_novel_classes)
-        test_nodes = self.dataset.split.test_nodes
-        return open_world_accuracy(
-            result.predictions[test_nodes],
-            self.dataset.labels[test_nodes],
-            self.dataset.split.seen_classes,
-        )
-
 
 def train_openima(dataset: OpenWorldDataset, config: Optional[OpenIMAConfig] = None
                   ) -> OpenIMATrainer:

@@ -17,12 +17,13 @@ import numpy as np
 from ..datasets.splits import OpenWorldDataset
 from ..gnn import ClassificationHead, build_encoder
 from ..graphs.sampling import NeighborSampler
+from ..inference import InferenceEngine
 from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
 from .callbacks import Callback, CallbackList, EvaluationCallback
-from .config import SerializableConfig, TrainerConfig
+from .config import InferenceConfig, SerializableConfig, TrainerConfig
 from .inference import InferenceResult, two_stage_predict
 from .labels import LabelSpace
 
@@ -101,6 +102,12 @@ class GraphTrainer:
                 fanouts=sampling.fanouts if sampling.mode == "sampled" else None,
                 rng=self._sampling_rng if self._sampling_rng is not None else self.rng,
             )
+
+        #: Deterministic all-node inference: layerwise/full mode selection
+        #: plus the parameter-version-keyed embedding cache, so pseudo-label
+        #: refresh, evaluation, and prediction against unchanged parameters
+        #: share a single encoder forward (see repro.inference).
+        self.inference_engine = InferenceEngine(config.inference)
 
         self.history = TrainingHistory()
         #: Number of completed training epochs (advanced by :meth:`fit`,
@@ -277,8 +284,15 @@ class GraphTrainer:
     # Evaluation helpers
     # ------------------------------------------------------------------
     def node_embeddings(self) -> np.ndarray:
-        """Deterministic (dropout-free) embeddings of every node."""
-        return self.encoder.embed(self.dataset.graph)
+        """Deterministic (dropout-free) embeddings of every node.
+
+        Served by the :class:`~repro.inference.InferenceEngine`: the
+        configured mode (``full``/``layerwise``/``auto``) decides how the
+        pass is computed, and the parameter-version-keyed cache returns the
+        same (read-only) array to every caller until the next parameter
+        update.  Copy before mutating.
+        """
+        return self.inference_engine.embeddings(self.encoder, self.dataset.graph)
 
     def head_logits(self, embeddings: Optional[np.ndarray] = None) -> np.ndarray:
         """Head logits for all nodes, computed without recording gradients."""
@@ -288,10 +302,21 @@ class GraphTrainer:
             logits = self.head(Tensor(embeddings))
         return logits.numpy()
 
+    def configure_inference(self, inference: InferenceConfig) -> None:
+        """Swap the inference settings (mode, chunk size, caching) in place.
+
+        Rebuilds the engine (dropping any cached embeddings) and records the
+        new section in ``self.config`` so subsequent checkpoints persist it.
+        """
+        self.config = self.config.with_updates(inference=inference)
+        self.inference_engine = InferenceEngine(inference)
+
     def predict(self, num_novel_classes: Optional[int] = None,
-                seed: Optional[int] = None) -> InferenceResult:
-        """Two-stage prediction over the current embeddings."""
-        embeddings = self.node_embeddings()
+                seed: Optional[int] = None,
+                embeddings: Optional[np.ndarray] = None) -> InferenceResult:
+        """Two-stage prediction over the current (or provided) embeddings."""
+        if embeddings is None:
+            embeddings = self.node_embeddings()
         return two_stage_predict(
             embeddings,
             self.dataset,
@@ -303,9 +328,13 @@ class GraphTrainer:
             kmeans_batch_size=self.config.kmeans_batch_size,
         )
 
-    def evaluate(self, num_novel_classes: Optional[int] = None) -> OpenWorldAccuracy:
-        """Open-world accuracy on the test nodes."""
-        result = self.predict(num_novel_classes=num_novel_classes)
+    def accuracy_of(self, result: InferenceResult) -> OpenWorldAccuracy:
+        """Open-world accuracy of an inference result on the test nodes.
+
+        The one place the test-node accuracy protocol is written down;
+        :meth:`evaluate`, the experiment runner, and the ``predict`` CLI all
+        score through it.
+        """
         test_nodes = self.dataset.split.test_nodes
         return open_world_accuracy(
             result.predictions[test_nodes],
@@ -313,9 +342,20 @@ class GraphTrainer:
             self.dataset.split.seen_classes,
         )
 
-    def validation_accuracy(self) -> float:
+    def evaluate(self, num_novel_classes: Optional[int] = None,
+                 embeddings: Optional[np.ndarray] = None) -> OpenWorldAccuracy:
+        """Open-world accuracy on the test nodes.
+
+        ``embeddings`` short-circuits the encoder forward with a precomputed
+        pass (the cache already de-duplicates repeat forwards, so this is
+        only needed when caching is disabled or embeddings were edited).
+        """
+        return self.accuracy_of(self.predict(num_novel_classes=num_novel_classes,
+                                             embeddings=embeddings))
+
+    def validation_accuracy(self, embeddings: Optional[np.ndarray] = None) -> float:
         """Clustering accuracy on the validation nodes (used by SC&ACC)."""
-        result = self.predict()
+        result = self.predict(embeddings=embeddings)
         val_nodes = self.dataset.split.val_nodes
         accuracy = open_world_accuracy(
             result.predictions[val_nodes],

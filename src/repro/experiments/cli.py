@@ -12,6 +12,14 @@ Resume that checkpoint for five more epochs::
 
     python -m repro.experiments.cli resume runs/openima-citeseer --epochs 15
 
+Export all-node embeddings / predictions from a checkpoint (layer-wise
+inference bounds peak memory on large graphs)::
+
+    python -m repro.experiments.cli embed runs/openima-citeseer emb.npz \
+        --set inference.mode=layerwise --set inference.chunk_size=8192
+    python -m repro.experiments.cli predict runs/openima-citeseer \
+        --predictions-npz pred.npz --output pred.json
+
 Discover what is available::
 
     python -m repro.experiments.cli list-methods
@@ -141,6 +149,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="optional path for a JSON copy of the results")
     resume.set_defaults(handler=_handle_resume)
 
+    # -- inference-only commands ---------------------------------------
+    embed = subparsers.add_parser(
+        "embed", help="write deterministic all-node embeddings from a "
+                      "checkpoint to an .npz file")
+    embed.add_argument("checkpoint", help="checkpoint directory written by run --save")
+    embed.add_argument("npz", help="destination .npz file (array 'embeddings')")
+    embed.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       dest="overrides",
+                       help="inference override (repeatable), e.g. "
+                            "--set inference.mode=layerwise "
+                            "--set inference.chunk_size=8192")
+    embed.add_argument("--output", type=str, default=None,
+                       help="optional path for a JSON copy of the metadata")
+    embed.set_defaults(handler=_handle_embed)
+
+    predict = subparsers.add_parser(
+        "predict", help="write per-node predictions and open-world accuracy "
+                        "from a checkpoint")
+    predict.add_argument("checkpoint", help="checkpoint directory written by run --save")
+    predict.add_argument("--predictions-npz", type=str, default=None, metavar="FILE",
+                         help="optional .npz copy of the per-node predictions")
+    predict.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                         dest="overrides",
+                         help="inference override (repeatable), e.g. "
+                              "--set inference.mode=layerwise")
+    predict.add_argument("--output", type=str, default=None,
+                         help="optional path for the predictions + accuracy JSON")
+    predict.set_defaults(handler=_handle_predict)
+
     # -- listings ------------------------------------------------------
     list_methods = subparsers.add_parser(
         "list-methods", help="list every registered method with its metadata")
@@ -266,6 +303,93 @@ def _handle_run(args: argparse.Namespace) -> dict:
     if args.save:
         classifier.save(args.save)
     return result
+
+
+def _load_for_inference(args: argparse.Namespace):
+    """Load a checkpointed classifier and apply ``--set inference.*`` overrides."""
+    from ..api import OpenWorldClassifier
+    from ..core.config import InferenceConfig
+
+    classifier = OpenWorldClassifier.load(args.checkpoint)
+    overrides = parse_set_overrides(args.overrides)
+    inference_overrides = overrides.pop("inference", {})
+    if overrides or not isinstance(inference_overrides, dict):
+        raise ValueError(
+            "only inference.* overrides are valid for this command, got "
+            f"{sorted(overrides) or [f'inference={inference_overrides}']}; "
+            "e.g. --set inference.mode=layerwise"
+        )
+    if inference_overrides:
+        current = classifier.trainer_.config.inference.to_dict()
+        classifier.configure_inference(
+            InferenceConfig.from_dict(_deep_merge(current, inference_overrides))
+        )
+    return classifier
+
+
+def _resolved_inference_mode(classifier) -> str:
+    trainer = classifier.trainer_
+    return classifier.inference_engine.resolve_mode(trainer.encoder,
+                                                    trainer.dataset.graph)
+
+
+def _handle_embed(args: argparse.Namespace) -> dict:
+    import numpy as np
+
+    classifier = _load_for_inference(args)
+    embeddings = classifier.embed()
+    mode = _resolved_inference_mode(classifier)
+    np.savez(args.npz, embeddings=embeddings)
+    lines = [
+        f"method:     {classifier.method}",
+        f"dataset:    {classifier.dataset_.name}",
+        f"embeddings: shape {embeddings.shape} "
+        f"({'layer-wise' if mode == 'layerwise' else 'full'} forward)",
+        f"written to: {args.npz}",
+    ]
+    return {
+        "report": "\n".join(lines),
+        "method": classifier.method,
+        "dataset": classifier.dataset_.name,
+        "inference_mode": mode,
+        "shape": list(embeddings.shape),
+        "npz": str(args.npz),
+    }
+
+
+def _handle_predict(args: argparse.Namespace) -> dict:
+    import numpy as np
+
+    classifier = _load_for_inference(args)
+    dataset = classifier.dataset_
+    # One embedding pass feeds both the prediction and the accuracy report.
+    embeddings = classifier.embed()
+    result = classifier.trainer_.predict(embeddings=embeddings)
+    accuracy = classifier.trainer_.accuracy_of(result)
+    mode = _resolved_inference_mode(classifier)
+    if args.predictions_npz:
+        np.savez(args.predictions_npz, predictions=result.predictions)
+    lines = [
+        f"method:    {classifier.method}",
+        f"dataset:   {dataset.name}",
+        f"inference: {mode} ({classifier.inference_engine.forward_count} forward)",
+        f"accuracy:  all={accuracy.overall:.4f}  seen={accuracy.seen:.4f}  "
+        f"novel={accuracy.novel:.4f}",
+    ]
+    if args.predictions_npz:
+        lines.append(f"predictions: {args.predictions_npz}")
+    payload = {
+        "report": "\n".join(lines),
+        "method": classifier.method,
+        "dataset": dataset.name,
+        "inference_mode": mode,
+        "accuracy": accuracy.as_dict(),
+    }
+    if args.output:
+        # The boxed per-node list is only worth building when a JSON copy
+        # was requested; bulk export goes through --predictions-npz.
+        payload["predictions"] = [int(p) for p in result.predictions]
+    return payload
 
 
 def _handle_resume(args: argparse.Namespace) -> dict:

@@ -168,13 +168,13 @@ def build_method(
 def evaluate_trainer(trainer: GraphTrainer, dataset: OpenWorldDataset,
                      method_name: str, seed: int) -> RunResult:
     """Collect the full metric set from a trained model."""
-    result = trainer.predict()
+    # One embedding pass feeds prediction and the embedding-space metrics
+    # (also guaranteed by the trainer's version-keyed cache; the explicit
+    # pass-through keeps this true even with caching disabled).
+    embeddings = trainer.node_embeddings()
+    result = trainer.predict(embeddings=embeddings)
+    accuracy = trainer.accuracy_of(result)
     test_nodes = dataset.split.test_nodes
-    accuracy = open_world_accuracy(
-        result.predictions[test_nodes],
-        dataset.labels[test_nodes],
-        dataset.split.seen_classes,
-    )
 
     val_nodes = dataset.split.val_nodes
     val_accuracy = open_world_accuracy(
@@ -183,7 +183,6 @@ def evaluate_trainer(trainer: GraphTrainer, dataset: OpenWorldDataset,
         dataset.split.seen_classes,
     ).overall
 
-    embeddings = trainer.node_embeddings()
     imbalance, separation = variance_imbalance_report(
         embeddings[test_nodes],
         dataset.labels[test_nodes],

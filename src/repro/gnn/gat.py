@@ -37,6 +37,32 @@ from ..nn.tensor import Tensor, cat
 from .backends import check_backend
 
 
+def _dense_attention_mask(src: np.ndarray, dst: np.ndarray,
+                          has_incoming: np.ndarray, num_nodes: int,
+                          start: int, stop: int) -> tuple:
+    """Rows ``[start, stop)`` of the dense additive attention mask + row gate.
+
+    ``src``/``dst`` must contain exactly the edges whose destination lies in
+    ``[start, stop)``.  The mask is log(multiplicity): 0 on single edges,
+    -inf on non-edges, so the row softmax over sources matches the segment
+    softmax over incoming edges — a duplicated directed edge carries its
+    attention mass once per copy, exactly like the edge list.  Rows of nodes
+    with no incoming edges would softmax to 0/0 = NaN; they are left
+    unmasked here and zeroed through the returned row gate instead, matching
+    the all-zero rows the sparse scatter-add produces.  Shared by the full
+    dense forward (called with the whole range) and the layer-wise dense
+    step (called per chunk), so the parity-critical arithmetic exists once.
+    """
+    multiplicity = np.zeros((stop - start, num_nodes))
+    np.add.at(multiplicity, (dst - start, src), 1.0)
+    with np.errstate(divide="ignore"):
+        mask = np.log(multiplicity)
+    rows_incoming = has_incoming[start:stop]
+    mask[~rows_incoming] = 0.0
+    row_gate = rows_incoming.astype(np.float64).reshape(-1, 1)
+    return mask, row_gate
+
+
 class GATLayer(Module):
     """Single multi-head graph attention layer."""
 
@@ -107,21 +133,11 @@ class GATLayer(Module):
     def _forward_dense(self, x: Tensor, edge_index: np.ndarray, num_nodes: int) -> Tensor:
         """Reference path: per-head masked N x N attention (O(N^2) memory)."""
         src, dst = edge_index
-        # Additive mask log(multiplicity): 0 on single edges, -inf on
-        # non-edges, so the row softmax over sources matches the segment
-        # softmax over incoming edges — a duplicated directed edge carries
-        # its attention mass once per copy, exactly like the edge list.
-        # Rows of nodes with no incoming edges would softmax to 0/0 = NaN;
-        # they are left unmasked here and zeroed after the softmax instead,
-        # matching the all-zero rows the sparse scatter-add produces.
         has_incoming = np.zeros(num_nodes, dtype=bool)
         has_incoming[dst] = True
-        multiplicity = np.zeros((num_nodes, num_nodes))
-        np.add.at(multiplicity, (dst, src), 1.0)
-        with np.errstate(divide="ignore"):
-            mask = np.log(multiplicity)
-        mask[~has_incoming] = 0.0
-        row_gate = Tensor(has_incoming.astype(np.float64).reshape(-1, 1))
+        mask, row_gate_np = _dense_attention_mask(src, dst, has_incoming,
+                                                  num_nodes, 0, num_nodes)
+        row_gate = Tensor(row_gate_np)
 
         head_outputs = []
         for head in range(self.num_heads):
@@ -211,3 +227,203 @@ class GATEncoder(Module):
         finally:
             self.train(was_training)
         return output.numpy()
+
+    # -- layer-wise inference interface ---------------------------------
+    def layerwise_plan(self, graph: Graph) -> list:
+        """Per-layer numpy inference steps for chunked all-node embedding.
+
+        Consumed by :class:`repro.inference.LayerwiseInference`.  Attention
+        is evaluated per chunk of *target* nodes: the edge list (with self
+        loops) is grouped by destination once, then each chunk softmaxes and
+        aggregates only its own incoming edges, so neither the full
+        ``E x heads`` score matrix (sparse backend) nor the ``N x N``
+        attention matrix (dense backend) is ever materialized.  Dropout is
+        inference-off by construction, matching :meth:`embed`.
+        """
+        edge_index = add_self_loops(graph.edge_index, graph.num_nodes)
+        edges = _DstGroupedEdges.build(edge_index, graph.num_nodes)
+        step_cls = _GATDenseStep if self.backend == "dense" else _GATSparseStep
+        return [
+            step_cls(self.layer1, edges, elu=True),
+            step_cls(self.layer2, edges, elu=False),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Layer-wise numpy inference (no autodiff, chunked over target nodes)
+# ----------------------------------------------------------------------
+class _DstGroupedEdges:
+    """Edge list (incl. self loops) grouped by destination node.
+
+    The stable sort preserves each destination's original edge order, so
+    per-segment reductions accumulate in exactly the same order as the full
+    forward's global scatter ops.
+    """
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray, indptr: np.ndarray,
+                 num_nodes: int):
+        self.src = src
+        self.dst = dst
+        self.indptr = indptr
+        self.num_nodes = num_nodes
+        self.has_incoming = np.zeros(num_nodes, dtype=bool)
+        self.has_incoming[dst] = True
+
+    @classmethod
+    def build(cls, edge_index: np.ndarray, num_nodes: int) -> "_DstGroupedEdges":
+        from ..graphs.sampling import build_edge_csr
+
+        # Group by destination = group the reversed edge list by source;
+        # build_edge_csr guarantees the order/multiplicity preservation the
+        # per-segment parity relies on.
+        indptr, src = build_edge_csr(edge_index[::-1], num_nodes)
+        dst = np.repeat(np.arange(num_nodes, dtype=np.int64), np.diff(indptr))
+        return cls(src, dst, indptr, num_nodes)
+
+
+def _leaky_relu_np(x: np.ndarray, negative_slope: float) -> np.ndarray:
+    return x * np.where(x > 0, 1.0, negative_slope)
+
+
+def _elu_np(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    return np.where(x > 0, x, alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+
+def _softmax_rows_np(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _segment_softmax_np(scores: np.ndarray, segment_ids: np.ndarray,
+                        num_segments: int) -> np.ndarray:
+    """Numpy twin of :func:`repro.nn.functional.segment_softmax`."""
+    seg_max = np.full((num_segments, scores.shape[1]), -np.inf)
+    np.maximum.at(seg_max, segment_ids, scores)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    exp = np.exp(scores - seg_max[segment_ids])
+    denom = np.zeros((num_segments, scores.shape[1]))
+    np.add.at(denom, segment_ids, exp)
+    return exp / (denom[segment_ids] + 1e-16)
+
+
+class _GATSparseStep:
+    """One sparse-backend GAT layer as a chunked numpy computation.
+
+    ``prepare`` makes one chunked pass over the nodes to collect the
+    per-node attention scores (``N x heads`` — the only full-graph buffer);
+    ``compute`` then projects just the chunk's unique source nodes and runs
+    the segment softmax/aggregation over the chunk's incoming edges.
+    """
+
+    def __init__(self, layer: GATLayer, edges: _DstGroupedEdges, elu: bool):
+        self.layer = layer
+        self.edges = edges
+        self.elu = elu
+        self.out_dim = layer.output_dim
+        self._score_src: Optional[np.ndarray] = None
+        self._score_dst: Optional[np.ndarray] = None
+
+    def prepare(self, h: np.ndarray, chunk_size: int) -> None:
+        layer = self.layer
+        num_nodes = h.shape[0]
+        self._score_src = np.empty((num_nodes, layer.num_heads))
+        self._score_dst = np.empty((num_nodes, layer.num_heads))
+        weight = layer.weight.data
+        for start in range(0, num_nodes, chunk_size):
+            stop = min(start + chunk_size, num_nodes)
+            # (C, F) @ (H, F, O) -> (H, C, O) -> (C, H, O), as in forward.
+            projected = np.matmul(h[start:stop], weight).transpose(1, 0, 2)
+            self._score_src[start:stop] = (projected * layer.att_src.data).sum(axis=-1)
+            self._score_dst[start:stop] = (projected * layer.att_dst.data).sum(axis=-1)
+
+    def compute(self, h: np.ndarray, start: int, stop: int) -> np.ndarray:
+        layer = self.layer
+        edges = self.edges
+        lo, hi = edges.indptr[start], edges.indptr[stop]
+        e_src = edges.src[lo:hi]
+        e_dst_local = edges.dst[lo:hi] - start
+        num_targets = stop - start
+
+        scores = _leaky_relu_np(
+            self._score_src[e_src] + self._score_dst[edges.dst[lo:hi]],
+            layer.negative_slope,
+        )
+        alpha = _segment_softmax_np(scores, e_dst_local, num_targets)
+
+        unique_src, inverse = np.unique(e_src, return_inverse=True)
+        projected = np.matmul(h[unique_src], layer.weight.data).transpose(1, 0, 2)
+        messages = projected[inverse] * alpha[:, :, None]
+        aggregated = np.zeros((num_targets, layer.num_heads, layer.out_features))
+        np.add.at(aggregated, e_dst_local, messages)
+
+        if layer.concat_heads:
+            out = aggregated.reshape(num_targets, layer.num_heads * layer.out_features)
+        else:
+            out = aggregated.mean(axis=1)
+        return _elu_np(out) if self.elu else out
+
+    def finish(self) -> None:
+        self._score_src = None
+        self._score_dst = None
+
+
+class _GATDenseStep:
+    """One dense-backend GAT layer, chunked to ``chunk x N`` attention rows.
+
+    The O(N^2) reference forward materializes a full ``N x N`` attention
+    matrix per head; this step rebuilds only the chunk's rows (multiplicity
+    mask included) so peak memory drops to ``chunk_size x N`` while
+    reproducing the reference arithmetic row for row.
+    """
+
+    def __init__(self, layer: GATLayer, edges: _DstGroupedEdges, elu: bool):
+        self.layer = layer
+        self.edges = edges
+        self.elu = elu
+        self.out_dim = layer.output_dim
+        self._projected: Optional[list] = None
+        self._score_src: Optional[list] = None
+        self._score_dst: Optional[list] = None
+
+    def prepare(self, h: np.ndarray, chunk_size: int) -> None:
+        layer = self.layer
+        self._projected, self._score_src, self._score_dst = [], [], []
+        for head in range(layer.num_heads):
+            # Per-head 2D matmuls, mirroring the dense reference forward.
+            projected = h @ layer.weight.data[head]  # (N, O)
+            self._projected.append(projected)
+            self._score_src.append(projected @ layer.att_src.data[head])  # (N,)
+            self._score_dst.append(projected @ layer.att_dst.data[head])  # (N,)
+
+    def _mask_rows(self, start: int, stop: int) -> tuple:
+        edges = self.edges
+        lo, hi = edges.indptr[start], edges.indptr[stop]
+        return _dense_attention_mask(edges.src[lo:hi], edges.dst[lo:hi],
+                                     edges.has_incoming, edges.num_nodes,
+                                     start, stop)
+
+    def compute(self, h: np.ndarray, start: int, stop: int) -> np.ndarray:
+        layer = self.layer
+        mask, row_gate = self._mask_rows(start, stop)
+        head_outputs = []
+        for head in range(layer.num_heads):
+            logits = _leaky_relu_np(
+                self._score_src[head][None, :] + self._score_dst[head][start:stop, None],
+                layer.negative_slope,
+            )
+            alpha = _softmax_rows_np(logits + mask) * row_gate
+            head_outputs.append(alpha @ self._projected[head])
+        if layer.concat_heads:
+            out = np.concatenate(head_outputs, axis=1)
+        else:
+            stacked = head_outputs[0]
+            for other in head_outputs[1:]:
+                stacked = stacked + other
+            out = stacked * (1.0 / layer.num_heads)
+        return _elu_np(out) if self.elu else out
+
+    def finish(self) -> None:
+        self._projected = None
+        self._score_src = None
+        self._score_dst = None

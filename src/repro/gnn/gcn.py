@@ -88,8 +88,11 @@ class GCNEncoder(Module):
         # Weak reference to the graph whose densified matrix is cached: a
         # weakref cannot pin a large graph alive, and (unlike keying by
         # id()) it can never mistake a fresh graph at a recycled address
-        # for the cached one.
+        # for the cached one.  The graph's cache_version is compared too, so
+        # the documented in-place mutation path (reassign fields +
+        # invalidate_caches()) drops this cache as well.
         self._cached_graph: Optional[weakref.ref] = None
+        self._cached_graph_version = -1
 
     def _propagation(self, graph: Graph) -> Propagation:
         if self.backend == "sparse":
@@ -97,9 +100,10 @@ class GCNEncoder(Module):
             self._cached_propagation = graph.propagation()
             return self._cached_propagation
         cached = self._cached_graph() if self._cached_graph is not None else None
-        if cached is not graph:
+        if cached is not graph or self._cached_graph_version != graph.cache_version:
             self._cached_propagation = graph.propagation().toarray()
             self._cached_graph = weakref.ref(graph)
+            self._cached_graph_version = graph.cache_version
         return self._cached_propagation
 
     def forward(self, graph: Graph) -> Tensor:
@@ -121,3 +125,57 @@ class GCNEncoder(Module):
         finally:
             self.train(was_training)
         return output.numpy()
+
+    # -- layer-wise inference interface ---------------------------------
+    def layerwise_plan(self, graph: Graph) -> list:
+        """Per-layer numpy inference steps for chunked all-node embedding.
+
+        Consumed by :class:`repro.inference.LayerwiseInference`: each step
+        computes one layer's output rows from the full previous-layer
+        activations, so at any moment only two layer activations (plus a
+        chunk-sized temporary) are alive — no autodiff graph, no all-layer
+        materialization.  Dropout is inference-off by construction, matching
+        :meth:`embed`.
+        """
+        propagation = self._propagation(graph)
+        return [
+            _GCNLayerStep(self.layer1, propagation, relu=True),
+            _GCNLayerStep(self.layer2, propagation, relu=False),
+        ]
+
+
+class _GCNLayerStep:
+    """One GCN layer as a chunked numpy computation.
+
+    ``compute`` evaluates output rows ``[start, stop)`` as
+    ``(P[start:stop] @ h) @ W + (P 1) b`` — propagation first, so the only
+    temporary is ``chunk x in_features`` instead of the full ``N x
+    out_features`` projection.  Matrix associativity makes this equal to the
+    training forward's ``P @ (h W + b)`` up to float rounding (parity is
+    tested at 1e-8); note the bias is added *before* propagation there, so
+    it must be scaled by the propagation row sums here.
+    """
+
+    def __init__(self, layer: GCNLayer, propagation: Propagation, relu: bool):
+        self.layer = layer
+        self.propagation = propagation
+        self.relu = relu
+        self.out_dim = layer.linear.out_features
+        self._row_sums: Optional[np.ndarray] = None
+
+    def prepare(self, h: np.ndarray, chunk_size: int) -> None:
+        if self.layer.linear.bias is not None:
+            self._row_sums = np.asarray(self.propagation.sum(axis=1)).reshape(-1, 1)
+
+    def compute(self, h: np.ndarray, start: int, stop: int) -> np.ndarray:
+        aggregated = self.propagation[start:stop] @ h
+        out = aggregated @ self.layer.linear.weight.data
+        bias = self.layer.linear.bias
+        if bias is not None:
+            out = out + self._row_sums[start:stop] * bias.data
+        if self.relu:
+            out = out * (out > 0)
+        return out
+
+    def finish(self) -> None:
+        self._row_sums = None

@@ -76,11 +76,20 @@ class Graph:
         Must be called after reassigning ``features``/``edge_index``/
         ``labels`` on an existing instance (see the class docstring); the
         next :meth:`adjacency` / :meth:`propagation` / :meth:`edge_csr` call
-        rebuilds from the current fields.
+        rebuilds from the current fields.  Also bumps :attr:`cache_version`,
+        which external caches keyed on this graph (encoder propagation
+        caches, ``repro.inference.EmbeddingCache``) compare so a mutated
+        graph can never serve their stale entries.
         """
         self._adjacency_cache = None
         self._propagation_cache = None
         self._csr_cache = None
+        self._cache_version = getattr(self, "_cache_version", -1) + 1
+
+    @property
+    def cache_version(self) -> int:
+        """Counter bumped by :meth:`invalidate_caches` (0 for a fresh graph)."""
+        return self._cache_version
 
     # -- basic properties -------------------------------------------------
     @property

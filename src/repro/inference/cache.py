@@ -1,0 +1,116 @@
+"""Version-keyed embedding cache.
+
+Deterministic all-node embeddings depend on exactly two things: the encoder's
+parameters and the graph.  :class:`ParamVersion` captures both identities —
+the encoder instance plus its monotonic
+:meth:`~repro.nn.layers.Module.parameter_version` counter (bumped by every
+optimizer step and ``load_state_dict``) — so a cached result can be reused
+if and only if nothing observable has changed.  Stale reuse is structurally
+impossible: any parameter update changes the counter, and the graph is held
+by weak reference so a freshly built graph at a recycled address can never
+alias the cached one.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..nn.layers import Module
+
+
+class ParamVersion:
+    """Snapshot of a module's parameter state at a point in time.
+
+    Two snapshots compare equal when they refer to the *same live module*
+    with the *same parameter version counter*.  The module is held weakly,
+    so a snapshot never keeps a model alive, and a dead referent never
+    matches anything.
+    """
+
+    __slots__ = ("_module_ref", "counter")
+
+    def __init__(self, module: Module):
+        self._module_ref = weakref.ref(module)
+        self.counter = module.parameter_version()
+
+    @property
+    def module(self) -> Optional[Module]:
+        return self._module_ref()
+
+    def is_current(self) -> bool:
+        """Whether the referenced module still has this parameter version."""
+        module = self._module_ref()
+        return module is not None and module.parameter_version() == self.counter
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ParamVersion):
+            return NotImplemented
+        mine, theirs = self._module_ref(), other._module_ref()
+        return mine is not None and mine is theirs and self.counter == other.counter
+
+    def __hash__(self) -> int:
+        return hash((id(self._module_ref()), self.counter))
+
+    def __repr__(self) -> str:
+        module = self._module_ref()
+        target = type(module).__name__ if module is not None else "<dead>"
+        return f"ParamVersion({target}, counter={self.counter})"
+
+
+class EmbeddingCache:
+    """Single-entry cache of all-node embeddings keyed by :class:`ParamVersion`.
+
+    One entry suffices because the trainer loop alternates between parameter
+    updates and bursts of reads (pseudo-label refresh, evaluation,
+    prediction) against the *current* parameters; anything older is dead by
+    construction.  The graph is keyed by identity **and**
+    :attr:`~repro.graphs.graph.Graph.cache_version`, so the documented
+    in-place mutation path (reassign fields + ``invalidate_caches()``) also
+    invalidates this cache.  The cached array is returned with
+    ``writeable=False`` so an accidental in-place edit by a consumer raises
+    instead of silently corrupting every other consumer of the same epoch.
+    """
+
+    def __init__(self):
+        self._version: Optional[ParamVersion] = None
+        self._graph_ref: Optional[weakref.ref] = None
+        self._graph_version: int = -1
+        self._value: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, encoder: Module, graph: Graph) -> Optional[np.ndarray]:
+        """Return the cached embeddings, or None on any mismatch."""
+        if (
+            self._value is not None
+            and self._graph_ref is not None
+            and self._graph_ref() is graph
+            and getattr(graph, "cache_version", 0) == self._graph_version
+            and self._version is not None
+            and self._version.is_current()
+            and self._version.module is encoder
+        ):
+            self.hits += 1
+            return self._value
+        self.misses += 1
+        return None
+
+    def store(self, encoder: Module, graph: Graph, embeddings: np.ndarray) -> np.ndarray:
+        """Cache ``embeddings`` for the encoder's current parameter version."""
+        embeddings = np.asarray(embeddings)
+        embeddings.setflags(write=False)
+        self._version = ParamVersion(encoder)
+        self._graph_ref = weakref.ref(graph)
+        self._graph_version = getattr(graph, "cache_version", 0)
+        self._value = embeddings
+        return embeddings
+
+    def invalidate(self) -> None:
+        """Drop the cached entry (the hit/miss counters are kept)."""
+        self._version = None
+        self._graph_ref = None
+        self._value = None

@@ -25,10 +25,41 @@ class LoadStateResult(NamedTuple):
 
 
 class Parameter(Tensor):
-    """A tensor that is always trainable and registered with its module."""
+    """A tensor that is always trainable and registered with its module.
+
+    Assigning ``data`` (including augmented assignment, the optimizers'
+    ``param.data -= ...``) automatically bumps a version counter;
+    :meth:`Module.parameter_version` folds the per-parameter counters into a
+    single monotonically increasing integer that embedding caches use to
+    detect stale results.  The one hole the property cannot see is in-place
+    *element* mutation of the array itself (``param.data[i] = ...``) — code
+    doing that must call :meth:`bump_version` explicitly.
+    """
 
     def __init__(self, data: np.ndarray, name: str = ""):
+        self._version = 0
         super().__init__(data, requires_grad=True, name=name)
+        self._version = 0  # construction itself is version 0
+
+    # ``data`` shadows the Tensor slot with a version-counting property so
+    # cache invalidation is structural, not a call-site convention.
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Number of recorded updates to ``data`` since construction."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record an in-place element mutation of ``data`` (see class doc)."""
+        self._version += 1
 
 
 class Module:
@@ -83,6 +114,16 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def parameter_version(self) -> int:
+        """Monotonic counter covering every parameter of the module tree.
+
+        The value increases whenever any parameter announces an update via
+        :meth:`Parameter.bump_version` (optimizer steps, ``load_state_dict``),
+        so equal values guarantee the parameters are unchanged.  Used as the
+        key of :class:`repro.inference.EmbeddingCache`.
+        """
+        return sum(param._version for param in self.parameters())
+
     # -- state dict -------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Return a copy of all parameter arrays keyed by dotted names."""
@@ -121,6 +162,8 @@ class Module:
                 f"{len(shape_errors)} parameter(s): " + "; ".join(shape_errors)
             )
         for name in loadable:
+            # Assigning Parameter.data bumps its version, invalidating any
+            # version-keyed embedding cache.
             own[name].data = np.array(state[name], dtype=np.float64, copy=True)
         return LoadStateResult(missing_keys=missing, unexpected_keys=unexpected)
 

@@ -91,6 +91,8 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = grad
+            # Augmented assignment routes through the Parameter.data setter,
+            # which bumps the parameter version (cache invalidation).
             param.data -= self.lr * update
 
     def state_dict(self) -> dict:
@@ -132,6 +134,7 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             m_hat = m / bias_correction1
             v_hat = v / bias_correction2
+            # Routes through the version-bumping Parameter.data setter.
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def state_dict(self) -> dict:

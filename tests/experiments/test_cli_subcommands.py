@@ -136,6 +136,68 @@ class TestResumeCommand:
         assert again["epochs_trained"] == 2
 
 
+class TestEmbedPredictCommands:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt"
+        main(TINY_RUN + ["--save", str(path)])
+        return path
+
+    def test_embed_writes_npz(self, checkpoint, tmp_path):
+        target = tmp_path / "emb.npz"
+        result = main(["embed", str(checkpoint), str(target)])
+        embeddings = np.load(target)["embeddings"]
+        assert list(embeddings.shape) == result["shape"]
+        assert embeddings.shape[1] > 0
+        assert result["inference_mode"] == "full"  # tiny graph, auto mode
+
+    def test_embed_layerwise_matches_full(self, checkpoint, tmp_path):
+        full_path = tmp_path / "full.npz"
+        layerwise_path = tmp_path / "layerwise.npz"
+        main(["embed", str(checkpoint), str(full_path)])
+        result = main(["embed", str(checkpoint), str(layerwise_path),
+                       "--set", "inference.mode=layerwise",
+                       "--set", "inference.chunk_size=33"])
+        assert result["inference_mode"] == "layerwise"
+        np.testing.assert_allclose(np.load(layerwise_path)["embeddings"],
+                                   np.load(full_path)["embeddings"],
+                                   rtol=0.0, atol=1e-8)
+
+    def test_predict_writes_predictions_and_accuracy(self, checkpoint, tmp_path):
+        target = tmp_path / "pred.npz"
+        result = main(["predict", str(checkpoint),
+                       "--predictions-npz", str(target),
+                       "--output", str(tmp_path / "pred.json"),
+                       "--set", "inference.mode=layerwise"])
+        predictions = np.load(target)["predictions"]
+        assert predictions.tolist() == result["predictions"]
+        assert 0.0 <= result["accuracy"]["all"] <= 1.0
+        assert result["inference_mode"] == "layerwise"
+        assert (tmp_path / "pred.json").exists()
+
+    def test_predict_without_json_output_skips_boxed_list(self, checkpoint):
+        result = main(["predict", str(checkpoint)])
+        assert "predictions" not in result
+        assert 0.0 <= result["accuracy"]["all"] <= 1.0
+
+    def test_non_inference_override_rejected(self, checkpoint, tmp_path):
+        with pytest.raises(ValueError, match="inference"):
+            main(["embed", str(checkpoint), str(tmp_path / "emb.npz"),
+                  "--set", "eta=2.0"])
+
+    def test_bare_inference_override_rejected(self, checkpoint, tmp_path):
+        # `inference=layerwise` (missing the dotted key) must fail with the
+        # same clean error, not an AttributeError inside the merge.
+        with pytest.raises(ValueError, match="inference.mode=layerwise"):
+            main(["embed", str(checkpoint), str(tmp_path / "emb.npz"),
+                  "--set", "inference=layerwise"])
+
+    def test_bad_inference_mode_fails_loudly(self, checkpoint, tmp_path):
+        with pytest.raises(ValueError, match="inference mode"):
+            main(["embed", str(checkpoint), str(tmp_path / "emb.npz"),
+                  "--set", "inference.mode=warp"])
+
+
 class TestListCommands:
     def test_list_methods(self, capsys):
         result = main(["list-methods"])

@@ -1,0 +1,137 @@
+"""Parameter versioning and the version-keyed embedding cache.
+
+The invariant under test: a cached embedding can be reused **iff** the same
+encoder instance has the same parameter version on the same graph object.
+Optimizer steps and ``load_state_dict`` must bump the version, making stale
+reuse impossible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import GCNEncoder
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+from repro.inference import EmbeddingCache, ParamVersion
+from repro.nn.layers import Linear
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def tiny_graph(seed: int = 0, num_nodes: int = 24) -> Graph:
+    rng = np.random.default_rng(seed)
+    src = rng.integers(num_nodes, size=60)
+    dst = rng.integers(num_nodes, size=60)
+    return Graph(features=rng.normal(size=(num_nodes, 6)),
+                 edge_index=symmetrize_edges(np.vstack([src, dst])))
+
+
+def stepped(module: Linear, optimizer_cls) -> None:
+    """Run one forward/backward/step cycle on ``module``."""
+    module.zero_grad()
+    out = module(Tensor(np.ones((3, module.in_features))))
+    out.sum().backward()
+    optimizer_cls(module.parameters(), lr=0.1).step()
+
+
+class TestParameterVersion:
+    def test_fresh_module_starts_at_zero(self):
+        assert Linear(4, 3).parameter_version() == 0
+
+    @pytest.mark.parametrize("optimizer_cls", [Adam, SGD])
+    def test_optimizer_step_bumps_version(self, optimizer_cls):
+        module = Linear(4, 3)
+        before = module.parameter_version()
+        stepped(module, optimizer_cls)
+        assert module.parameter_version() > before
+
+    def test_load_state_dict_bumps_version(self):
+        module = Linear(4, 3)
+        before = module.parameter_version()
+        module.load_state_dict(module.state_dict())
+        assert module.parameter_version() > before
+
+    def test_direct_data_assignment_bumps_version(self):
+        """`param.data = ...` must invalidate caches without any explicit call."""
+        module = Linear(4, 3)
+        before = module.parameter_version()
+        module.weight.data = module.weight.data + 1.0
+        assert module.parameter_version() == before + 1
+
+    def test_version_covers_child_modules(self):
+        encoder = GCNEncoder(6, hidden_dim=5, out_dim=4,
+                             rng=np.random.default_rng(0))
+        before = encoder.parameter_version()
+        encoder.layer2.linear.weight.bump_version()
+        assert encoder.parameter_version() == before + 1
+
+    def test_param_version_equality(self):
+        module = Linear(4, 3)
+        a, b = ParamVersion(module), ParamVersion(module)
+        assert a == b and a.is_current()
+        module.weight.bump_version()
+        c = ParamVersion(module)
+        assert a != c
+        assert not a.is_current() and c.is_current()
+
+    def test_param_version_dead_module_never_matches(self):
+        version = ParamVersion(Linear(2, 2))
+        assert not version.is_current()
+
+
+class TestEmbeddingCache:
+    def setup_method(self):
+        self.graph = tiny_graph()
+        self.encoder = GCNEncoder(6, hidden_dim=5, out_dim=4, dropout=0.0,
+                                  rng=np.random.default_rng(1))
+        self.cache = EmbeddingCache()
+
+    def test_miss_then_hit(self):
+        assert self.cache.lookup(self.encoder, self.graph) is None
+        value = self.cache.store(self.encoder, self.graph,
+                                 self.encoder.embed(self.graph))
+        assert self.cache.lookup(self.encoder, self.graph) is value
+        assert self.cache.hits == 1 and self.cache.misses == 1
+
+    def test_optimizer_step_invalidates(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        out = self.encoder(self.graph)
+        (out * out).sum().backward()
+        Adam(self.encoder.parameters()).step()
+        assert self.cache.lookup(self.encoder, self.graph) is None
+
+    def test_load_state_dict_invalidates(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.encoder.load_state_dict(self.encoder.state_dict())
+        assert self.cache.lookup(self.encoder, self.graph) is None
+
+    def test_in_place_graph_mutation_misses(self):
+        """The documented mutation path (reassign + invalidate_caches)."""
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.graph.features = self.graph.features * 2.0
+        self.graph.invalidate_caches()
+        assert self.cache.lookup(self.encoder, self.graph) is None
+
+    def test_different_graph_object_misses(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        other = tiny_graph()  # identical content, different identity
+        assert self.cache.lookup(self.encoder, other) is None
+
+    def test_different_encoder_misses(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        other = GCNEncoder(6, hidden_dim=5, out_dim=4, dropout=0.0,
+                           rng=np.random.default_rng(2))
+        assert self.cache.lookup(other, self.graph) is None
+
+    def test_explicit_invalidate(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.cache.invalidate()
+        assert self.cache.lookup(self.encoder, self.graph) is None
+
+    def test_cached_array_is_read_only(self):
+        stored = self.cache.store(self.encoder, self.graph,
+                                  self.encoder.embed(self.graph))
+        with pytest.raises(ValueError):
+            stored[0, 0] = 1.0
