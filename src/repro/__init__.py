@@ -10,8 +10,9 @@ organised as:
 * :mod:`repro.gnn` — GAT / GCN encoders and classification heads.
 * :mod:`repro.inference` — layer-wise all-node inference engine with a
   parameter-version-keyed embedding cache.
-* :mod:`repro.clustering` — K-Means (full, mini-batch, semi-supervised) and
-  the silhouette coefficient.
+* :mod:`repro.clustering` — K-Means (full, mini-batch, semi-supervised), the
+  strategy-based clustering engine (exact/minibatch/online refresh), and
+  clustering-quality metrics (silhouette, NMI/ARI).
 * :mod:`repro.assignment` — Hungarian algorithm and cluster-class alignment.
 * :mod:`repro.metrics` — open-world accuracy, variance imbalance/separation
   rates, and the SC&ACC model-selection metric.

@@ -7,8 +7,9 @@ A checkpoint is a directory with two files:
   count, training history, and the trainer's RNG state.
 * ``weights.npz`` — every encoder/head parameter (dotted names prefixed
   with ``encoder.`` / ``head.``), the optimizer moment buffers
-  (``optim.<name>.<index>``), and any method-specific extra arrays
-  (``extra.<name>``).
+  (``optim.<name>.<index>``), any method-specific extra arrays
+  (``extra.<name>``), and the clustering engine's carried centroids /
+  online counts (``clustering.<name>``).
 
 Loading rebuilds the dataset from the recorded loader arguments (or uses a
 caller-provided dataset), reconstructs the trainer through the unified
@@ -88,6 +89,9 @@ def save_trainer_checkpoint(trainer: GraphTrainer, path) -> Path:
             optimizer_meta[name] = int(value)
     for name, value in trainer.extra_state().items():
         arrays[f"extra.{name}"] = np.asarray(value)
+    clustering_meta, clustering_arrays = trainer.clustering_state()
+    for name, value in clustering_arrays.items():
+        arrays[f"clustering.{name}"] = np.asarray(value)
     np.savez(path / WEIGHTS_FILE, **arrays)
 
     manifest = {
@@ -106,6 +110,10 @@ def save_trainer_checkpoint(trainer: GraphTrainer, path) -> Path:
         "epochs_trained": int(trainer.epochs_trained),
         "optimizer": optimizer_meta,
         "rng_state": trainer.rng_state(),
+        # Clustering-engine state (warm-start centroids live in weights.npz
+        # under clustering.*): RNG, refresh counters, and the last-fit
+        # parameter version relative to the encoder's current counter.
+        "clustering_state": clustering_meta,
         "history": {
             # Non-finite losses (diverged runs) become null so the manifest
             # stays strict JSON; the loader maps null back to NaN.
@@ -214,6 +222,13 @@ def load_trainer_checkpoint(
         trainer.optimizer.load_state_dict(optimizer_state)
 
     trainer.load_extra_state(take("extra."))
+    clustering_meta = manifest.get("clustering_state")
+    if clustering_meta is not None:
+        # After the weights are loaded, so the relative last-fit parameter
+        # version anchors to the final counter.  Legacy manifests (without
+        # the section) predate the engine and start from a fresh one, which
+        # matches their training history (exact strategy, no carried state).
+        trainer.load_clustering_state(clustering_meta, take("clustering."))
     trainer.set_rng_state(manifest["rng_state"])
     trainer.epochs_trained = int(manifest["epochs_trained"])
     history = manifest.get("history", {})

@@ -26,8 +26,14 @@ from typing import Iterable, Mapping, Optional, Union
 
 import numpy as np
 
+from ..clustering.engine import ClusteringEngine
 from ..core.callbacks import Callback
-from ..core.config import InferenceConfig, SerializableConfig, TrainerConfig
+from ..core.config import (
+    ClusteringConfig,
+    InferenceConfig,
+    SerializableConfig,
+    TrainerConfig,
+)
 from ..core.inference import InferenceResult
 from ..core.registry import METHODS, MethodSpec
 from ..core.trainer import GraphTrainer, TrainingHistory
@@ -194,6 +200,29 @@ class OpenWorldClassifier:
     def inference_engine(self) -> InferenceEngine:
         """The fitted trainer's inference engine (forward/cache counters)."""
         return self._require_fitted().inference_engine
+
+    def configure_clustering(
+        self, clustering: Union[ClusteringConfig, Mapping]
+    ) -> "OpenWorldClassifier":
+        """Swap the fitted model's clustering settings (strategy/sampling).
+
+        Accepts a :class:`~repro.core.config.ClusteringConfig` or a plain
+        dict (strict keys), e.g. ``{"strategy": "minibatch", "sample_size":
+        4096}``.  Rebuilding the engine drops any warm-start state; the new
+        section is recorded in the config, so subsequent :meth:`save` calls
+        persist it.
+        """
+        if isinstance(clustering, Mapping):
+            clustering = ClusteringConfig.from_dict(clustering)
+        trainer = self._require_fitted()
+        trainer.configure_clustering(clustering)
+        self.config = trainer.full_config
+        return self
+
+    @property
+    def clustering_engine(self) -> ClusteringEngine:
+        """The fitted trainer's clustering engine (refresh/refit counters)."""
+        return self._require_fitted().clustering_engine
 
     @property
     def history(self) -> TrainingHistory:

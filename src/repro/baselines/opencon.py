@@ -81,11 +81,10 @@ class OpenConTrainer(GraphTrainer):
             if members.shape[0]:
                 new_prototypes[internal] = normalized[members].mean(axis=0)
 
-        # Novel prototypes from K-Means over unlabeled embeddings far from
-        # the seen prototypes.
+        # Novel prototypes from clustering the unlabeled embeddings far from
+        # the seen prototypes (through the configured clustering strategy;
+        # the stateless path keeps the per-epoch refresh deterministic).
         if self.label_space.num_novel > 0:
-            from ..clustering.kmeans import KMeans
-
             unlabeled = split.test_nodes
             if unlabeled.shape[0] >= self.label_space.num_novel:
                 seen_protos = _l2_rows(new_prototypes[: self.label_space.num_seen])
@@ -94,8 +93,11 @@ class OpenConTrainer(GraphTrainer):
                 candidates = unlabeled[ood_mask]
                 if candidates.shape[0] < self.label_space.num_novel:
                     candidates = unlabeled
-                result = KMeans(self.label_space.num_novel, seed=self.config.seed,
-                                n_init=1).fit(normalized[candidates])
+                # n_init=1 / mini_batch=False pin the historical direct
+                # KMeans call for the exact strategy.
+                result = self.clustering_engine.cluster(
+                    normalized[candidates], self.label_space.num_novel,
+                    n_init=1, mini_batch=False)
                 new_prototypes[self.label_space.num_seen:] = result.centers
 
         if self._prototypes_initialized:
@@ -152,6 +154,7 @@ class OpenConTrainer(GraphTrainer):
                 else self.label_space.num_novel
             ),
             seed=self.config.seed if seed is None else seed,
+            engine=self.clustering_engine,
         )
         return InferenceResult(
             predictions=predictions,

@@ -17,7 +17,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..clustering.kmeans import KMeans
 from ..core.config import TrainerConfig
 from ..core.inference import InferenceResult, two_stage_predict
 from ..core.losses import cross_entropy_loss
@@ -110,12 +109,17 @@ class OpenWGLTrainer(GraphTrainer):
         internal = logits[:, : self.label_space.num_seen].argmax(axis=1)
         ood_nodes = np.where(is_ood)[0]
         if ood_nodes.shape[0] >= num_novel and num_novel > 0:
-            clusters = KMeans(num_novel, seed=seed, n_init=1).fit_predict(embeddings[ood_nodes])
+            # n_init=1 / mini_batch=False pin the historical direct KMeans
+            # call for the exact strategy.
+            clusters = self.clustering_engine.cluster(
+                embeddings[ood_nodes], num_novel, seed=seed,
+                n_init=1, mini_batch=False).labels
             internal[ood_nodes] = self.label_space.num_seen + clusters
         predictions = self.label_space.to_original(internal)
 
         two_stage = two_stage_predict(
             embeddings, self.dataset, num_novel_classes=num_novel, seed=seed,
+            engine=self.clustering_engine,
         )
         return InferenceResult(
             predictions=predictions,

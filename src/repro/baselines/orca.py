@@ -115,6 +115,7 @@ class ORCATrainer(GraphTrainer):
                 else self.label_space.num_novel
             ),
             seed=self.config.seed if seed is None else seed,
+            engine=self.clustering_engine,
         )
         return InferenceResult(
             predictions=predictions,

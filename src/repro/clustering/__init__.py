@@ -1,5 +1,6 @@
-"""Clustering algorithms and clustering-quality metrics."""
+"""Clustering algorithms, the pluggable refresh engine, and quality metrics."""
 
+from .engine import ClusteringEngine, ClusteringOutcome
 from .kmeans import (
     KMeans,
     KMeansResult,
@@ -7,16 +8,27 @@ from .kmeans import (
     cluster_embeddings,
     kmeans_plus_plus_init,
 )
-from .metrics import inertia, pairwise_distances, silhouette_samples, silhouette_score
+from .metrics import (
+    adjusted_rand_index,
+    inertia,
+    normalized_mutual_information,
+    pairwise_distances,
+    silhouette_samples,
+    silhouette_score,
+)
 from .semi_kmeans import SemiSupervisedKMeans
 
 __all__ = [
+    "ClusteringEngine",
+    "ClusteringOutcome",
     "KMeans",
     "MiniBatchKMeans",
     "SemiSupervisedKMeans",
     "KMeansResult",
     "cluster_embeddings",
     "kmeans_plus_plus_init",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
     "silhouette_score",
     "silhouette_samples",
     "pairwise_distances",

@@ -1,0 +1,399 @@
+"""Pluggable clustering engine: strategy-based refresh with versioned state.
+
+Every pseudo-label refresh and two-stage prediction used to call the Lloyd
+K-Means path directly — an O(n * k * d * iters) scan over all N embeddings
+per refresh, and the last stage wired as bare function calls rather than a
+configured subsystem.  :class:`ClusteringEngine` puts the stage behind
+:class:`repro.core.config.ClusteringConfig` with three strategies sharing one
+interface:
+
+``exact``
+    The historical path (:class:`~repro.clustering.kmeans.KMeans` with
+    k-means++ restarts, or Sculley MiniBatch-KMeans when the trainer's
+    legacy ``mini_batch_kmeans`` flag is set).  With ``warm_start`` off this
+    is bit-identical to the pre-engine refresh at the same seed.
+
+``minibatch``
+    Fits MiniBatch-KMeans on at most ``sample_size`` sampled embeddings,
+    then runs one full chunked assignment pass — O(sample * k * d * iters +
+    n * k * d) instead of O(n * k * d * iters).
+
+``online``
+    Streams Sculley-style convex centroid updates over embedding chunks
+    (the same row-chunking discipline as the layer-wise inference engine)
+    and carries both centroids and running cluster counts across refreshes,
+    so each refresh costs one streaming update pass plus one assignment
+    pass — two O(n * k * d) scans that refine the previous clustering
+    instead of re-running Lloyd iterations from scratch.
+
+The engine has two entry points with different statefulness contracts:
+
+* :meth:`refresh` — the *training-loop* path (pseudo-label refresh).  It is
+  stateful: warm-started centroids are carried between calls, the persistent
+  RNG advances, and a ``refresh_tolerance`` short-circuit keyed on
+  ``Module.parameter_version()`` downgrades a refresh to a reassign-only
+  pass when the encoder has barely moved since the last fit.
+* :meth:`cluster` — the *inference* path (two-stage prediction, baseline
+  OOD post-clustering).  It is stateless and deterministic in its ``seed``
+  argument: calling it never reads or mutates the warm-start state, so
+  mid-training evaluation callbacks cannot perturb the training trajectory.
+
+:meth:`state_dict` / :meth:`load_state_dict` round-trip the carried state
+(centroids, online counts, RNG, and the last-fit parameter version stored
+*relative* to the current one, so resumed checkpoints keep the tolerance
+short-circuit exact even though version counters restart on load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from .kmeans import (
+    KMeans,
+    KMeansResult,
+    MiniBatchKMeans,
+    _assign_labels,
+    _sculley_update,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import ClusteringConfig
+
+#: Discount applied to the online strategy's running cluster counts at the
+#: start of every warm refresh.  Without it the Sculley learning rate decays
+#: toward zero across refreshes and the centroids freeze while the embeddings
+#: are still drifting during training; halving the accumulated mass keeps the
+#: update responsive while still favoring the carried centroids.
+ONLINE_COUNT_DECAY = 0.5
+
+
+@dataclass
+class ClusteringOutcome:
+    """One engine refresh: the clustering plus how it was produced.
+
+    Attributes
+    ----------
+    result:
+        The clustering itself (labels, centers, inertia).
+    strategy:
+        The configured strategy that produced it.
+    refitted:
+        ``False`` when the ``refresh_tolerance`` short-circuit fired and the
+        refresh only reassigned points to the carried centroids.
+    version_delta:
+        Parameter-version drift since the engine's last full fit (``None``
+        when no version was supplied or no fit has happened yet).
+    """
+
+    result: KMeansResult
+    strategy: str
+    refitted: bool
+    version_delta: Optional[int] = None
+
+
+class ClusteringEngine:
+    """Strategy-based clustering refresh behind a :class:`ClusteringConfig`.
+
+    Parameters
+    ----------
+    config:
+        The strategy configuration; ``None`` uses the defaults (``exact``).
+    seed:
+        Trainer seed, used when ``config.seed`` is ``None``.
+    mini_batch / batch_size:
+        The trainer's legacy ``mini_batch_kmeans`` / ``kmeans_batch_size``
+        flags; the ``exact`` strategy honors them so large-scale profiles
+        keep their historical Sculley MiniBatch path bit-for-bit.
+    """
+
+    def __init__(self, config: Optional["ClusteringConfig"] = None, *,
+                 seed: int = 0, mini_batch: bool = False, batch_size: int = 1024):
+        if config is None:
+            # Imported lazily: repro.core.trainer imports this package, so a
+            # module-level import of repro.core.config would be circular.
+            from ..core.config import ClusteringConfig
+
+            config = ClusteringConfig()
+        self.config = config
+        self.base_seed = int(seed if config.seed is None else config.seed)
+        self.legacy_mini_batch = bool(mini_batch)
+        self.legacy_batch_size = int(batch_size)
+        #: Persistent RNG driving the stateful refresh path (minibatch
+        #: sampling, online streaming); checkpointed via state_dict.
+        self.rng = np.random.default_rng(self.base_seed)
+        self._centers: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+        self._num_clusters: Optional[int] = None
+        self._last_fit_version: Optional[int] = None
+        #: Total refresh() calls / refresh() calls that ran a full fit.
+        self.refresh_count = 0
+        self.refit_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def carries_state(self) -> bool:
+        """Whether refreshes carry centroids forward (warm start / online)."""
+        return bool(self.config.warm_start) or self.config.strategy == "online"
+
+    @property
+    def centers(self) -> Optional[np.ndarray]:
+        """The carried centroids (read-only view), or ``None``.
+
+        The view is non-writeable so a caller cannot silently corrupt the
+        warm-start state; copy before mutating.
+        """
+        if self._centers is None:
+            return None
+        view = self._centers.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------
+    # Stateful refresh (training loop)
+    # ------------------------------------------------------------------
+    def refresh(self, embeddings: np.ndarray, num_clusters: int,
+                parameter_version: Optional[int] = None) -> ClusteringOutcome:
+        """Cluster ``embeddings`` for a pseudo-label refresh.
+
+        ``parameter_version`` is the encoder's
+        :meth:`~repro.nn.layers.Module.parameter_version` counter; together
+        with ``config.refresh_tolerance`` it decides whether a carried
+        clustering is still fresh enough to skip the re-fit.
+        """
+        data = np.asarray(embeddings, dtype=np.float64)
+        num_clusters = int(num_clusters)
+        state_valid = (
+            self.carries_state
+            and self._centers is not None
+            and self._num_clusters == num_clusters
+            and self._centers.shape[1] == data.shape[1]
+        )
+        version_delta: Optional[int] = None
+        if parameter_version is not None and self._last_fit_version is not None:
+            version_delta = int(parameter_version) - self._last_fit_version
+
+        if (state_valid and self.config.refresh_tolerance > 0
+                and version_delta is not None
+                and 0 <= version_delta <= self.config.refresh_tolerance):
+            result = self._reassign(data, self._centers)
+            self.refresh_count += 1
+            return ClusteringOutcome(result, self.config.strategy,
+                                     refitted=False, version_delta=version_delta)
+
+        initial = self._centers if state_valid else None
+        counts = self._counts if state_valid else None
+        result, counts = self._fit(data, num_clusters, initial_centers=initial,
+                                   counts=counts, rng=self.rng)
+        if self.carries_state:
+            self._centers = result.centers.copy()
+            self._counts = counts
+            self._num_clusters = num_clusters
+        if parameter_version is not None:
+            self._last_fit_version = int(parameter_version)
+        self.refresh_count += 1
+        self.refit_count += 1
+        return ClusteringOutcome(result, self.config.strategy,
+                                 refitted=True, version_delta=version_delta)
+
+    # ------------------------------------------------------------------
+    # Stateless clustering (inference)
+    # ------------------------------------------------------------------
+    def cluster(self, embeddings: np.ndarray, num_clusters: int,
+                seed: Optional[int] = None, n_init: Optional[int] = None,
+                mini_batch: Optional[bool] = None,
+                initial_centers: Optional[np.ndarray] = None) -> KMeansResult:
+        """One-shot clustering under the configured strategy.
+
+        Deterministic in ``seed`` (default: the engine's resolved seed) and
+        side-effect free: the warm-start state and persistent RNG are never
+        touched, so prediction during training cannot perturb the refresh
+        sequence.  ``n_init`` and ``mini_batch`` override the ``exact``
+        strategy's restart count / legacy MiniBatch flag, preserving
+        bit-compatibility with the historical call sites.
+        """
+        data = np.asarray(embeddings, dtype=np.float64)
+        num_clusters = int(num_clusters)
+        seed = self.base_seed if seed is None else int(seed)
+        rng = np.random.default_rng(seed)
+        strategy = self.config.strategy
+        if strategy == "exact":
+            return self._exact_fit(data, num_clusters, initial_centers,
+                                   seed=seed, n_init=n_init, mini_batch=mini_batch)
+        if strategy == "minibatch":
+            return self._minibatch_fit(data, num_clusters, initial_centers, rng)
+        result, _ = self._online_fit(data, num_clusters, initial_centers, None, rng)
+        return result
+
+    # ------------------------------------------------------------------
+    # Strategy implementations
+    # ------------------------------------------------------------------
+    def _fit(self, data: np.ndarray, num_clusters: int,
+             initial_centers: Optional[np.ndarray], counts: Optional[np.ndarray],
+             rng: np.random.Generator) -> Tuple[KMeansResult, Optional[np.ndarray]]:
+        strategy = self.config.strategy
+        if strategy == "exact":
+            return self._exact_fit(data, num_clusters, initial_centers,
+                                   seed=self.base_seed), None
+        if strategy == "minibatch":
+            return self._minibatch_fit(data, num_clusters, initial_centers, rng), None
+        return self._online_fit(data, num_clusters, initial_centers, counts, rng)
+
+    def _exact_fit(self, data: np.ndarray, num_clusters: int,
+                   initial_centers: Optional[np.ndarray], seed: int,
+                   n_init: Optional[int] = None,
+                   mini_batch: Optional[bool] = None) -> KMeansResult:
+        use_mini_batch = (self.legacy_mini_batch if mini_batch is None
+                          else bool(mini_batch))
+        if use_mini_batch:
+            return MiniBatchKMeans(
+                num_clusters, batch_size=self.legacy_batch_size, seed=seed,
+            ).fit(data, initial_centers=initial_centers)
+        restarts = 3 if n_init is None else int(n_init)
+        return KMeans(num_clusters, seed=seed, n_init=restarts).fit(
+            data, initial_centers=initial_centers)
+
+    def _sample_rows(self, data: np.ndarray, num_clusters: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """At most ``sample_size`` rows (sorted indices keep data locality)."""
+        num_samples = data.shape[0]
+        sample_size = min(num_samples, max(int(self.config.sample_size), num_clusters))
+        if sample_size >= num_samples:
+            return data
+        indices = rng.choice(num_samples, size=sample_size, replace=False)
+        return data[np.sort(indices)]
+
+    def _cold_start_centers(self, sample: np.ndarray, num_clusters: int,
+                            rng: np.random.Generator) -> np.ndarray:
+        """Robust initial centroids: best-of-3 short Lloyd runs on a sample.
+
+        O(sample_size * k * d) regardless of n.  A single k-means++ seeding
+        misses a cluster often enough (squared-distance weighting is diluted
+        by high-dimensional within-cluster noise) that one-init strategies
+        land in merged/split optima; three restarts scored by inertia make
+        that failure mode cubically unlikely.
+        """
+        cold_seed = int(rng.integers(np.iinfo(np.int64).max))
+        return KMeans(num_clusters, seed=cold_seed, n_init=3,
+                      max_iter=10).fit(sample).centers
+
+    def _minibatch_fit(self, data: np.ndarray, num_clusters: int,
+                       initial_centers: Optional[np.ndarray],
+                       rng: np.random.Generator) -> KMeansResult:
+        if data.shape[0] < num_clusters:
+            raise ValueError(
+                f"cannot form {num_clusters} clusters from {data.shape[0]} samples")
+        sample = self._sample_rows(data, num_clusters, rng)
+        if initial_centers is None:
+            initial_centers = self._cold_start_centers(sample, num_clusters, rng)
+        fit_seed = int(rng.integers(np.iinfo(np.int64).max))
+        # Starting from Lloyd-warmed (or carried) centers, the Sculley pass
+        # only needs ~two epochs over the sample — the default 100 batches
+        # would dominate the whole refresh for moderate sample sizes.
+        iterations = max(10, -(-2 * sample.shape[0] // self.legacy_batch_size))
+        fitted = MiniBatchKMeans(
+            num_clusters, batch_size=self.legacy_batch_size, seed=fit_seed,
+            max_iter=iterations,
+        ).fit(sample, initial_centers=initial_centers)
+        if sample is data:
+            # No subsampling happened, so the fit's own final assignment
+            # already covers every row — rescanning would double the
+            # dominant O(n * k * d) post-fit cost.
+            return fitted
+        return self._reassign(data, fitted.centers)
+
+    def _online_fit(self, data: np.ndarray, num_clusters: int,
+                    initial_centers: Optional[np.ndarray],
+                    counts: Optional[np.ndarray],
+                    rng: np.random.Generator) -> Tuple[KMeansResult, np.ndarray]:
+        num_samples = data.shape[0]
+        if num_samples < num_clusters:
+            raise ValueError(
+                f"cannot form {num_clusters} clusters from {num_samples} samples")
+        if initial_centers is None:
+            # Cold start on a sample: the streaming updates only move
+            # centers within their captured region, so the initial topology
+            # must already be right (see _cold_start_centers).
+            seed_pool = self._sample_rows(data, num_clusters, rng)
+            centers = self._cold_start_centers(seed_pool, num_clusters, rng)
+            counts = np.zeros(num_clusters, dtype=np.float64)
+        else:
+            centers = np.array(initial_centers, dtype=np.float64, copy=True)
+            counts = (np.zeros(num_clusters, dtype=np.float64) if counts is None
+                      else np.asarray(counts, dtype=np.float64).copy())
+            counts *= ONLINE_COUNT_DECAY
+        chunk = int(self.config.reassign_chunk_size)
+        for start in range(0, num_samples, chunk):
+            block = data[start: start + chunk]
+            assignments, _ = _assign_labels(block, centers)
+            _sculley_update(centers, counts, block, assignments, num_clusters)
+        return self._reassign(data, centers), counts
+
+    def _reassign(self, data: np.ndarray, centers: np.ndarray) -> KMeansResult:
+        """Full chunked nearest-center assignment against fixed centroids."""
+        labels, min_sq = _assign_labels(data, centers,
+                                        int(self.config.reassign_chunk_size))
+        return KMeansResult(labels=labels,
+                            centers=np.array(centers, dtype=np.float64, copy=True),
+                            inertia=float(min_sq.sum()), n_iter=0)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self, parameter_version: Optional[int] = None) -> Tuple[dict, dict]:
+        """JSON-able metadata plus carried arrays for checkpointing.
+
+        The last-fit parameter version is stored as ``version_behind`` —
+        its distance from ``parameter_version`` *now* — because absolute
+        version counters do not survive a checkpoint/load cycle
+        (``load_state_dict`` bumps every parameter).
+        """
+        meta = {
+            "rng": self.rng.bit_generator.state,
+            "refresh_count": int(self.refresh_count),
+            "refit_count": int(self.refit_count),
+            "num_clusters": (None if self._num_clusters is None
+                             else int(self._num_clusters)),
+            "version_behind": (
+                None if (self._last_fit_version is None or parameter_version is None)
+                else int(parameter_version) - self._last_fit_version
+            ),
+        }
+        arrays = {}
+        if self._centers is not None:
+            arrays["centers"] = self._centers.copy()
+        if self._counts is not None:
+            arrays["counts"] = self._counts.copy()
+        return meta, arrays
+
+    def load_state_dict(self, meta: dict, arrays: Optional[dict] = None,
+                        parameter_version: Optional[int] = None) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        arrays = arrays or {}
+        rng_state = meta.get("rng")
+        if rng_state is not None:
+            self.rng.bit_generator.state = rng_state
+        self.refresh_count = int(meta.get("refresh_count", 0))
+        self.refit_count = int(meta.get("refit_count", 0))
+        num_clusters = meta.get("num_clusters")
+        self._num_clusters = None if num_clusters is None else int(num_clusters)
+        self._centers = (np.asarray(arrays["centers"], dtype=np.float64).copy()
+                         if "centers" in arrays else None)
+        self._counts = (np.asarray(arrays["counts"], dtype=np.float64).copy()
+                        if "counts" in arrays else None)
+        behind = meta.get("version_behind")
+        if behind is None or parameter_version is None:
+            self._last_fit_version = None
+        else:
+            self._last_fit_version = int(parameter_version) - int(behind)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusteringEngine(strategy={self.config.strategy!r}, "
+            f"seed={self.base_seed}, warm={self.carries_state}, "
+            f"refreshes={self.refresh_count}, refits={self.refit_count})"
+        )

@@ -100,6 +100,25 @@ def _cluster_sums(data: np.ndarray, labels: np.ndarray, num_clusters: int) -> tu
     return sums, counts
 
 
+def _sculley_update(centers: np.ndarray, counts: np.ndarray, batch: np.ndarray,
+                    assignments: np.ndarray, num_clusters: int) -> None:
+    """Sculley's per-center convex update, applied to ``centers`` in place.
+
+    ``counts`` accumulates across batches and the learning rate is the
+    batch share of the running count; every non-empty cluster is updated at
+    once.  Shared by :class:`MiniBatchKMeans` and the clustering engine's
+    ``online`` streaming strategy, so the numerically sensitive update rule
+    has exactly one implementation.
+    """
+    sums, batch_counts = _cluster_sums(batch, assignments, num_clusters)
+    updated = batch_counts > 0
+    counts[updated] += batch_counts[updated]
+    rate = batch_counts[updated] / counts[updated]
+    means = sums[updated] / batch_counts[updated, None]
+    centers[updated] = (1.0 - rate[:, None]) * centers[updated] + \
+        rate[:, None] * means
+
+
 def kmeans_plus_plus_init(data: np.ndarray, num_clusters: int,
                           rng: np.random.Generator) -> np.ndarray:
     """k-means++ seeding (Arthur & Vassilvitskii, SODA 2007)."""
@@ -193,14 +212,18 @@ class MiniBatchKMeans:
         self.seed = seed
         self.chunk_size = chunk_size
 
-    def fit(self, data: np.ndarray) -> KMeansResult:
+    def fit(self, data: np.ndarray,
+            initial_centers: Optional[np.ndarray] = None) -> KMeansResult:
         data = np.asarray(data, dtype=np.float64)
         if data.shape[0] < self.num_clusters:
             raise ValueError(
                 f"cannot form {self.num_clusters} clusters from {data.shape[0]} samples"
             )
         rng = np.random.default_rng(self.seed)
-        centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
+        if initial_centers is not None:
+            centers = np.array(initial_centers, dtype=np.float64, copy=True)
+        else:
+            centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
         counts = np.zeros(self.num_clusters)
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
@@ -208,16 +231,7 @@ class MiniBatchKMeans:
                                    replace=False)
             batch = data[batch_idx]
             assignments, _ = _assign_labels(batch, centers, self.chunk_size)
-            sums, batch_counts = _cluster_sums(batch, assignments, self.num_clusters)
-            # Sculley's per-center convex update, applied to every non-empty
-            # cluster at once: counts accumulate across batches and the
-            # learning rate is the batch share of the running count.
-            updated = batch_counts > 0
-            counts[updated] += batch_counts[updated]
-            rate = batch_counts[updated] / counts[updated]
-            means = sums[updated] / batch_counts[updated, None]
-            centers[updated] = (1.0 - rate[:, None]) * centers[updated] + \
-                rate[:, None] * means
+            _sculley_update(centers, counts, batch, assignments, self.num_clusters)
         labels, min_sq = _assign_labels(data, centers, self.chunk_size)
         inertia = float(min_sq.sum())
         return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)

@@ -1,8 +1,13 @@
-"""Clustering quality metrics: silhouette coefficient and inertia helpers.
+"""Clustering quality metrics: silhouette, NMI/ARI, and inertia helpers.
 
 The silhouette coefficient is one half of the paper's SC&ACC model-selection
 metric (Section V-A) and is also used to roughly estimate the number of novel
-classes (Section V-E).
+classes (Section V-E).  NMI/ARI compare two labelings — the clustering-engine
+parity tests score the approximate strategies (minibatch/online) against the
+exact assignment with them.  Degenerate labelings (a single cluster, or all
+singletons) follow the sklearn conventions: identical trivial partitions
+score 1.0, a trivial partition against a non-trivial one scores 0.0 — never
+a division by zero.
 """
 
 from __future__ import annotations
@@ -69,6 +74,91 @@ def silhouette_score(data: np.ndarray, labels: np.ndarray, sample_size: int | No
         if np.unique(labels).shape[0] < 2:
             return 0.0
     return float(silhouette_samples(data, labels).mean())
+
+
+def _contingency_counts(labels_a: np.ndarray, labels_b: np.ndarray) -> tuple:
+    """Sparse cluster-overlap statistics between two labelings.
+
+    Returns ``(rows, cols, cells, cell_rows, cell_cols)``: per-cluster
+    sizes of each labeling, then the counts and (row, col) coordinates of
+    the *nonzero* contingency cells.  Never materializes the dense
+    ``k_a x k_b`` matrix, so fine-grained (even all-singleton) labelings of
+    large graphs stay O(n) memory.
+    """
+    labels_a = np.asarray(labels_a).ravel()
+    labels_b = np.asarray(labels_b).ravel()
+    if labels_a.shape[0] != labels_b.shape[0]:
+        raise ValueError("labelings must have the same length")
+    empty = np.zeros(0, dtype=np.float64)
+    if labels_a.shape[0] == 0:
+        return empty, empty, empty, empty.astype(np.int64), empty.astype(np.int64)
+    _, index_a = np.unique(labels_a, return_inverse=True)
+    _, index_b = np.unique(labels_b, return_inverse=True)
+    rows = np.bincount(index_a).astype(np.float64)
+    cols = np.bincount(index_b).astype(np.float64)
+    paired = index_a.astype(np.int64) * cols.shape[0] + index_b
+    cell_ids, cells = np.unique(paired, return_counts=True)
+    return (rows, cols, cells.astype(np.float64),
+            cell_ids // cols.shape[0], cell_ids % cols.shape[0])
+
+
+def _entropy(counts: np.ndarray, total: float) -> float:
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def normalized_mutual_information(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization (the sklearn default).
+
+    Degenerate cases are defined, never divide by zero: two single-cluster
+    labelings are identical up to renaming (1.0); a zero-entropy labeling
+    against a non-trivial one shares no information (0.0); empty input and a
+    single sample are trivially matched (1.0).
+    """
+    rows, cols, cells, cell_rows, cell_cols = _contingency_counts(labels_a, labels_b)
+    total = rows.sum()
+    if total == 0:
+        return 1.0
+    if rows.shape[0] <= 1 and cols.shape[0] <= 1:
+        return 1.0
+    entropy_a = _entropy(rows, total)
+    entropy_b = _entropy(cols, total)
+    if entropy_a == 0.0 or entropy_b == 0.0:
+        return 0.0
+    joint = cells / total
+    outer = rows[cell_rows] * cols[cell_cols] / (total * total)
+    mutual_information = float((joint * np.log(joint / outer)).sum())
+    return float(np.clip(mutual_information / (0.5 * (entropy_a + entropy_b)), 0.0, 1.0))
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index, chance-corrected pair-counting agreement.
+
+    Follows the sklearn degenerate-case conventions: identical trivial
+    partitions (both single-cluster, or both all-singletons) score 1.0; a
+    single-cluster labeling against an all-singleton one scores 0.0.
+    """
+    rows, cols, cells, _, _ = _contingency_counts(labels_a, labels_b)
+    total = rows.sum()
+    if total == 0:
+        return 1.0
+
+    def pairs(counts: np.ndarray) -> float:
+        return float((counts * (counts - 1.0) / 2.0).sum())
+
+    total_pairs = total * (total - 1.0) / 2.0
+    if total_pairs == 0:
+        return 1.0
+    sum_both = pairs(cells)
+    sum_a = pairs(rows)
+    sum_b = pairs(cols)
+    expected = sum_a * sum_b / total_pairs
+    max_index = 0.5 * (sum_a + sum_b)
+    if max_index == expected:
+        # Both labelings are trivial in the same way (all one cluster, or
+        # all singletons): the partitions coincide exactly.
+        return 1.0
+    return float((sum_both - expected) / (max_index - expected))
 
 
 def inertia(data: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:

@@ -21,6 +21,23 @@ from .kmeans import (
 )
 
 
+def _reseed_from_farthest(data: np.ndarray, assigned_sq: np.ndarray,
+                          count: int, rng: np.random.Generator) -> np.ndarray:
+    """``count`` distinct replacement centers from the farthest-point pool.
+
+    The pool is the ``4 * count`` samples farthest from their assigned
+    center (distinct picks, so two empty clusters never collapse onto the
+    same point); the draw uses the supplied clustering RNG, never numpy's
+    global state.  In the degenerate case of more empty clusters than
+    samples the draw falls back to sampling with replacement — duplicate
+    centers are unavoidable when ``n < num_clusters``.
+    """
+    pool_size = int(min(data.shape[0], max(count, 4 * count)))
+    pool = np.argsort(-assigned_sq, kind="stable")[:pool_size]
+    chosen = rng.choice(pool, size=count, replace=pool.shape[0] < count)
+    return data[chosen]
+
+
 class SemiSupervisedKMeans:
     """K-Means whose labeled samples are pinned to class-specific clusters.
 
@@ -83,12 +100,21 @@ class SemiSupervisedKMeans:
         labels = np.zeros(data.shape[0], dtype=np.int64)
         iteration = 0
         for iteration in range(1, self.max_iter + 1):
-            labels, _ = _assign_labels(data, centers, self.chunk_size)
+            labels, min_sq = _assign_labels(data, centers, self.chunk_size)
             labels[labeled_indices] = pinned
             sums, counts = _cluster_sums(data, labels, self.num_clusters)
             new_centers = centers.copy()
             nonempty = counts > 0
             new_centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+            if not nonempty.all():
+                # Re-seed empty clusters from the farthest-point pool using
+                # the clustering RNG, so the result stays deterministic in
+                # ``seed`` and independent of numpy's global state.  (They
+                # previously kept their stale centers and could stay empty
+                # forever.)
+                empty = np.where(~nonempty)[0]
+                new_centers[empty] = _reseed_from_farthest(
+                    data, min_sq, empty.shape[0], rng)
             shift = np.linalg.norm(new_centers - centers)
             centers = new_centers
             if shift <= self.tol:

@@ -10,6 +10,7 @@ from .callbacks import (
     PeriodicCheckpoint,
 )
 from .config import (
+    ClusteringConfig,
     EncoderConfig,
     InferenceConfig,
     OpenIMAConfig,
@@ -46,6 +47,7 @@ from .registry import (
 from .trainer import GraphTrainer, TrainingHistory
 
 __all__ = [
+    "ClusteringConfig",
     "EncoderConfig",
     "InferenceConfig",
     "OptimizerConfig",

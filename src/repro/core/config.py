@@ -145,6 +145,87 @@ class SamplingConfig(SerializableConfig):
         object.__setattr__(self, "fanouts", fanouts)
 
 
+#: Valid ``ClusteringConfig.strategy`` values.
+CLUSTERING_STRATEGIES = ("exact", "minibatch", "online")
+
+
+@dataclass(frozen=True)
+class ClusteringConfig(SerializableConfig):
+    """Pseudo-label / two-stage clustering settings (``repro.clustering.engine``).
+
+    Attributes
+    ----------
+    strategy:
+        ``"exact"`` (default) runs the full Lloyd K-Means path used so far —
+        bit-identical to the pre-engine refresh at the same seed.
+        ``"minibatch"`` fits MiniBatch-KMeans on at most ``sample_size``
+        sampled embeddings and finishes with one full chunked assignment
+        pass.  ``"online"`` streams one pass of Sculley-style centroid
+        updates over embedding chunks and carries centroids (and running
+        cluster counts) across refreshes, so each refresh only refines the
+        previous one.
+    sample_size:
+        Number of embeddings sampled for the ``minibatch`` fit (and for the
+        ``online`` strategy's k-means++ cold start).
+    reassign_chunk_size:
+        Row-chunk size of the final full assignment pass (and of the online
+        streaming updates); bounds peak memory at O(chunk x k), mirroring
+        the layer-wise inference chunking.
+    warm_start:
+        Carry the previous refresh's centroids into the next fit (``exact``
+        and ``minibatch``; ``online`` always carries its streaming state).
+        Off by default so ``exact`` stays bit-identical to the historical
+        refresh.
+    refresh_tolerance:
+        Short-circuit threshold on the encoder's parameter-version drift
+        since the last full fit (``Module.parameter_version()`` units: one
+        optimizer step advances the version once per parameter tensor).
+        When carried centroids exist and the drift is within the tolerance,
+        the refresh only reassigns points to the existing centroids and
+        skips the re-fit.  ``0`` (default) disables the short-circuit; a
+        positive tolerance requires ``warm_start`` (or the ``online``
+        strategy) so it cannot be silently inert.
+    seed:
+        Optional dedicated seed for the clustering RNG; ``None`` (default)
+        uses the trainer's seed, which keeps ``exact`` refreshes identical
+        to the pre-engine behavior.
+    """
+
+    strategy: str = "exact"
+    sample_size: int = 8192
+    reassign_chunk_size: int = 16384
+    warm_start: bool = False
+    refresh_tolerance: int = 0
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.strategy not in CLUSTERING_STRATEGIES:
+            raise ValueError(
+                f"unknown clustering strategy {self.strategy!r}; "
+                f"expected one of {CLUSTERING_STRATEGIES}"
+            )
+        if int(self.sample_size) < 1:
+            raise ValueError(
+                f"clustering sample_size must be >= 1, got {self.sample_size}")
+        if int(self.reassign_chunk_size) < 1:
+            raise ValueError(
+                f"clustering reassign_chunk_size must be >= 1, "
+                f"got {self.reassign_chunk_size}")
+        if int(self.refresh_tolerance) < 0:
+            raise ValueError(
+                f"clustering refresh_tolerance must be >= 0, "
+                f"got {self.refresh_tolerance}")
+        if (int(self.refresh_tolerance) > 0 and not self.warm_start
+                and self.strategy != "online"):
+            raise ValueError(
+                "clustering refresh_tolerance requires carried centroids: "
+                "set warm_start=true (or use the online strategy, which "
+                "always carries its streaming state), or reset "
+                "refresh_tolerance=0 — without carried centroids the "
+                "tolerance would be silently ignored"
+            )
+
+
 #: Valid ``InferenceConfig.mode`` values.
 INFERENCE_MODES = ("auto", "full", "layerwise")
 
@@ -211,6 +292,7 @@ class TrainerConfig(SerializableConfig):
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     sampling: SamplingConfig = field(default_factory=SamplingConfig)
     inference: InferenceConfig = field(default_factory=InferenceConfig)
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     max_epochs: int = 20
     batch_size: int = 2048
     temperature: float = 0.7
@@ -266,13 +348,15 @@ class OpenIMAConfig(SerializableConfig):
 def fast_config(max_epochs: int = 8, seed: int = 0, encoder_kind: str = "gcn",
                 batch_size: int = 512, backend: str = "sparse",
                 eval_every: int = 0,
-                sampling: Optional[SamplingConfig] = None) -> TrainerConfig:
+                sampling: Optional[SamplingConfig] = None,
+                clustering: Optional[ClusteringConfig] = None) -> TrainerConfig:
     """A small configuration used by tests, the CLI, and the benchmark harness."""
     return TrainerConfig(
         encoder=EncoderConfig(kind=encoder_kind, hidden_dim=32, out_dim=16, num_heads=2,
                               dropout=0.3, backend=backend),
         optimizer=OptimizerConfig(learning_rate=5e-3, weight_decay=1e-4),
         sampling=sampling if sampling is not None else SamplingConfig(),
+        clustering=clustering if clustering is not None else ClusteringConfig(),
         max_epochs=max_epochs,
         batch_size=batch_size,
         seed=seed,

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..assignment.alignment import ClusterAlignment, align_clusters_to_classes
+from ..clustering.engine import ClusteringEngine
 from ..clustering.kmeans import KMeansResult, cluster_embeddings
 from ..datasets.splits import OpenWorldDataset
 from .labels import LabelSpace
@@ -44,8 +45,9 @@ def two_stage_predict(
     dataset: OpenWorldDataset,
     num_novel_classes: Optional[int] = None,
     seed: int = 0,
-    mini_batch: bool = False,
+    mini_batch: Optional[bool] = None,
     kmeans_batch_size: int = 1024,
+    engine: Optional[ClusteringEngine] = None,
 ) -> InferenceResult:
     """Run the full two-stage inference on precomputed embeddings.
 
@@ -59,6 +61,15 @@ def two_stage_predict(
         Number of novel classes assumed at inference; defaults to the ground
         truth ``|C_n|`` (the main-table protocol).  Table VI passes an
         estimate instead.
+    engine:
+        Optional :class:`~repro.clustering.engine.ClusteringEngine`; when
+        given, the clustering step runs through its stateless
+        :meth:`~repro.clustering.engine.ClusteringEngine.cluster` path under
+        the configured strategy (``mini_batch`` then acts as an override of
+        the engine's legacy MiniBatch flag, ``None`` meaning "engine
+        default", and ``kmeans_batch_size`` is ignored in favor of the
+        engine's configured batch size).  Without an engine the historical
+        direct K-Means call is used and ``mini_batch=None`` means ``False``.
     """
     embeddings = np.asarray(embeddings, dtype=np.float64)
     if embeddings.shape[0] != dataset.graph.num_nodes:
@@ -71,10 +82,15 @@ def two_stage_predict(
     label_space = LabelSpace(seen_classes=split.seen_classes, num_novel=num_novel)
     num_clusters = label_space.num_total
 
-    cluster_result = cluster_embeddings(
-        embeddings, num_clusters, seed=seed, mini_batch=mini_batch,
-        batch_size=kmeans_batch_size,
-    )
+    if engine is not None:
+        cluster_result = engine.cluster(
+            embeddings, num_clusters, seed=seed, mini_batch=mini_batch,
+        )
+    else:
+        cluster_result = cluster_embeddings(
+            embeddings, num_clusters, seed=seed, mini_batch=bool(mini_batch),
+            batch_size=kmeans_batch_size,
+        )
 
     train_internal = label_space.to_internal(dataset.labels[split.train_nodes])
     alignment = align_clusters_to_classes(

@@ -101,6 +101,10 @@ class OpenIMATrainer(GraphTrainer):
         # after the swap persist the new inference settings.
         self.openima_config = self.openima_config.with_updates(trainer=self.config)
 
+    def configure_clustering(self, clustering) -> None:
+        super().configure_clustering(clustering)
+        self.openima_config = self.openima_config.with_updates(trainer=self.config)
+
     def extra_state(self) -> Dict[str, np.ndarray]:
         # The pseudo-label lookup is the only cross-epoch state the loss
         # depends on; persisting it keeps resumed runs exact even when
@@ -127,9 +131,8 @@ class OpenIMATrainer(GraphTrainer):
             num_seen_classes=self.label_space.num_seen,
             num_clusters=self.label_space.num_total,
             rho=self.openima_config.rho,
-            seed=self.config.seed,
-            mini_batch=self.config.mini_batch_kmeans,
-            kmeans_batch_size=self.config.kmeans_batch_size,
+            engine=self.clustering_engine,
+            parameter_version=self.encoder.parameter_version(),
         )
         self._pseudo_lookup = self.pseudo_labels.label_lookup(self.dataset.graph.num_nodes)
         return self.pseudo_labels
@@ -246,8 +249,10 @@ class OpenIMATrainer(GraphTrainer):
                 else self.label_space.num_novel
             ),
             seed=self.config.seed if seed is None else seed,
+            # The large-scale profile always clusters with MiniBatch-KMeans
+            # regardless of the trainer's legacy flag (paper Section V).
             mini_batch=True,
-            kmeans_batch_size=self.config.kmeans_batch_size,
+            engine=self.clustering_engine,
         )
         return InferenceResult(
             predictions=predictions,

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from ..assignment.alignment import ClusterAlignment, align_clusters_to_classes
+from ..clustering.engine import ClusteringEngine, ClusteringOutcome
 from ..clustering.kmeans import KMeansResult, cluster_embeddings
 
 
@@ -39,6 +40,10 @@ class PseudoLabels:
     confidence:
         Confidence value of every node (not just selected ones); higher means
         closer to its cluster centroid.
+    clustering:
+        The engine outcome behind ``cluster_result`` (strategy, whether the
+        refresh re-fitted or only reassigned, parameter-version drift);
+        ``None`` when the clustering was produced outside the engine.
     """
 
     node_indices: np.ndarray
@@ -46,6 +51,7 @@ class PseudoLabels:
     cluster_result: KMeansResult
     alignment: ClusterAlignment
     confidence: np.ndarray
+    clustering: Optional[ClusteringOutcome] = None
 
     @property
     def num_selected(self) -> int:
@@ -69,6 +75,8 @@ def generate_pseudo_labels(
     mini_batch: bool = False,
     kmeans_batch_size: int = 1024,
     cluster_result: Optional[KMeansResult] = None,
+    engine: Optional[ClusteringEngine] = None,
+    parameter_version: Optional[int] = None,
 ) -> PseudoLabels:
     """Produce bias-reduced pseudo labels from the current embeddings.
 
@@ -90,6 +98,14 @@ def generate_pseudo_labels(
         are attached to unlabeled nodes inside it.
     cluster_result:
         Optionally reuse a precomputed clustering of ``embeddings``.
+    engine:
+        Optional :class:`~repro.clustering.engine.ClusteringEngine`; when
+        given (and no ``cluster_result``), the refresh runs through the
+        engine's stateful path — configured strategy, warm-started
+        centroids, and the ``refresh_tolerance`` short-circuit keyed on
+        ``parameter_version`` — and the outcome is recorded on the returned
+        :class:`PseudoLabels`.  ``seed``/``mini_batch``/``kmeans_batch_size``
+        only apply to the legacy engine-less path.
     """
     if not 0 < rho <= 100:
         raise ValueError("rho must be in (0, 100]")
@@ -98,11 +114,17 @@ def generate_pseudo_labels(
     labeled_internal_labels = np.asarray(labeled_internal_labels, dtype=np.int64)
     num_nodes = embeddings.shape[0]
 
+    outcome: Optional[ClusteringOutcome] = None
     if cluster_result is None:
-        cluster_result = cluster_embeddings(
-            embeddings, num_clusters, seed=seed, mini_batch=mini_batch,
-            batch_size=kmeans_batch_size,
-        )
+        if engine is not None:
+            outcome = engine.refresh(embeddings, num_clusters,
+                                     parameter_version=parameter_version)
+            cluster_result = outcome.result
+        else:
+            cluster_result = cluster_embeddings(
+                embeddings, num_clusters, seed=seed, mini_batch=mini_batch,
+                batch_size=kmeans_batch_size,
+            )
 
     # Confidence: inversely proportional to the distance to the assigned centroid.
     distances = cluster_result.distances_to_center(embeddings)
@@ -135,4 +157,5 @@ def generate_pseudo_labels(
         cluster_result=cluster_result,
         alignment=alignment,
         confidence=confidence,
+        clustering=outcome,
     )

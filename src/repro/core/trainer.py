@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from ..clustering.engine import ClusteringEngine
 from ..datasets.splits import OpenWorldDataset
 from ..gnn import ClassificationHead, build_encoder
 from ..graphs.sampling import NeighborSampler
@@ -23,7 +24,12 @@ from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
 from .callbacks import Callback, CallbackList, EvaluationCallback
-from .config import InferenceConfig, SerializableConfig, TrainerConfig
+from .config import (
+    ClusteringConfig,
+    InferenceConfig,
+    SerializableConfig,
+    TrainerConfig,
+)
 from .inference import InferenceResult, two_stage_predict
 from .labels import LabelSpace
 
@@ -109,6 +115,12 @@ class GraphTrainer:
         #: share a single encoder forward (see repro.inference).
         self.inference_engine = InferenceEngine(config.inference)
 
+        #: Strategy-based clustering (see repro.clustering.engine): the
+        #: pseudo-label refresh runs through its stateful path (warm-started
+        #: centroids, parameter-version refresh tolerance) and two-stage
+        #: prediction through its stateless one.
+        self.clustering_engine = self._build_clustering_engine(config.clustering)
+
         self.history = TrainingHistory()
         #: Number of completed training epochs (advanced by :meth:`fit`,
         #: restored by the checkpoint loader so ``fit`` resumes seamlessly).
@@ -184,6 +196,25 @@ class GraphTrainer:
                 self._sampling_rng.bit_generator.state = sampling_state
         else:
             self.rng.bit_generator.state = state
+
+    def clustering_state(self) -> tuple:
+        """Checkpointable clustering-engine state ``(meta, arrays)``.
+
+        ``meta`` is JSON-serializable (RNG state, counters, and the last-fit
+        parameter version expressed *relative* to the encoder's current
+        version, since absolute version counters restart on load);
+        ``arrays`` holds the carried centroids / online counts.
+        """
+        return self.clustering_engine.state_dict(self.encoder.parameter_version())
+
+    def load_clustering_state(self, meta: dict, arrays: Optional[dict] = None) -> None:
+        """Restore the state captured by :meth:`clustering_state`.
+
+        Must be called after the encoder weights are loaded, so the relative
+        parameter version anchors to the final counter value.
+        """
+        self.clustering_engine.load_state_dict(
+            meta, arrays, self.encoder.parameter_version())
 
     # ------------------------------------------------------------------
     # Training loop
@@ -311,6 +342,29 @@ class GraphTrainer:
         self.config = self.config.with_updates(inference=inference)
         self.inference_engine = InferenceEngine(inference)
 
+    def _build_clustering_engine(self, clustering: ClusteringConfig) -> ClusteringEngine:
+        """One engine-wiring site for construction and reconfiguration.
+
+        The legacy mini_batch_kmeans/kmeans_batch_size flags keep the
+        "exact" strategy bit-identical to the pre-engine behavior.
+        """
+        return ClusteringEngine(
+            clustering,
+            seed=self.config.seed,
+            mini_batch=self.config.mini_batch_kmeans,
+            batch_size=self.config.kmeans_batch_size,
+        )
+
+    def configure_clustering(self, clustering: ClusteringConfig) -> None:
+        """Swap the clustering settings (strategy, sampling, warm start).
+
+        Rebuilds the engine — dropping any warm-start state — and records
+        the new section in ``self.config`` so subsequent checkpoints
+        persist it.
+        """
+        self.config = self.config.with_updates(clustering=clustering)
+        self.clustering_engine = self._build_clustering_engine(clustering)
+
     def predict(self, num_novel_classes: Optional[int] = None,
                 seed: Optional[int] = None,
                 embeddings: Optional[np.ndarray] = None) -> InferenceResult:
@@ -324,8 +378,7 @@ class GraphTrainer:
                 num_novel_classes if num_novel_classes is not None else self.label_space.num_novel
             ),
             seed=self.config.seed if seed is None else seed,
-            mini_batch=self.config.mini_batch_kmeans,
-            kmeans_batch_size=self.config.kmeans_batch_size,
+            engine=self.clustering_engine,
         )
 
     def accuracy_of(self, result: InferenceResult) -> OpenWorldAccuracy:

@@ -131,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                      dest="overrides",
                      help="config override (dotted keys, repeatable), e.g. "
-                          "--set optimizer.learning_rate=0.01 --set eta=2.0")
+                          "--set optimizer.learning_rate=0.01 --set eta=2.0 "
+                          "--set trainer.clustering.strategy=minibatch")
     run.add_argument("--save", type=str, default=None, metavar="DIR",
                      help="write a resumable checkpoint directory after training")
     run.set_defaults(handler=_handle_run)
@@ -172,8 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="optional .npz copy of the per-node predictions")
     predict.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                          dest="overrides",
-                         help="inference override (repeatable), e.g. "
-                              "--set inference.mode=layerwise")
+                         help="inference/clustering override (repeatable), e.g. "
+                              "--set inference.mode=layerwise "
+                              "--set clustering.strategy=minibatch")
     predict.add_argument("--output", type=str, default=None,
                          help="optional path for the predictions + accuracy JSON")
     predict.set_defaults(handler=_handle_predict)
@@ -305,24 +307,43 @@ def _handle_run(args: argparse.Namespace) -> dict:
     return result
 
 
-def _load_for_inference(args: argparse.Namespace):
-    """Load a checkpointed classifier and apply ``--set inference.*`` overrides."""
+def _load_for_inference(args: argparse.Namespace,
+                        allowed: Sequence[str] = ("inference",)):
+    """Load a checkpointed classifier and apply ``--set <section>.*`` overrides.
+
+    ``allowed`` names the config sections this subcommand may override
+    (``inference`` for embed, ``inference``/``clustering`` for predict);
+    anything else fails the same strict validation as ``run``.
+    """
     from ..api import OpenWorldClassifier
-    from ..core.config import InferenceConfig
+    from ..core.config import ClusteringConfig, InferenceConfig
 
     classifier = OpenWorldClassifier.load(args.checkpoint)
     overrides = parse_set_overrides(args.overrides)
-    inference_overrides = overrides.pop("inference", {})
-    if overrides or not isinstance(inference_overrides, dict):
+    sections: Dict[str, dict] = {}
+    for name in allowed:
+        section = overrides.pop(name, {})
+        if not isinstance(section, dict):
+            raise ValueError(
+                f"--set {name}=... must use dotted keys, e.g. "
+                f"--set {name}.{'mode=layerwise' if name == 'inference' else 'strategy=minibatch'}"
+            )
+        sections[name] = section
+    if overrides:
+        valid = "/".join(f"{name}.*" for name in allowed)
         raise ValueError(
-            "only inference.* overrides are valid for this command, got "
-            f"{sorted(overrides) or [f'inference={inference_overrides}']}; "
-            "e.g. --set inference.mode=layerwise"
+            f"only {valid} overrides are valid for this command, got "
+            f"{sorted(overrides)}; e.g. --set inference.mode=layerwise"
         )
-    if inference_overrides:
+    if sections.get("inference"):
         current = classifier.trainer_.config.inference.to_dict()
         classifier.configure_inference(
-            InferenceConfig.from_dict(_deep_merge(current, inference_overrides))
+            InferenceConfig.from_dict(_deep_merge(current, sections["inference"]))
+        )
+    if sections.get("clustering"):
+        current = classifier.trainer_.config.clustering.to_dict()
+        classifier.configure_clustering(
+            ClusteringConfig.from_dict(_deep_merge(current, sections["clustering"]))
         )
     return classifier
 
@@ -360,7 +381,7 @@ def _handle_embed(args: argparse.Namespace) -> dict:
 def _handle_predict(args: argparse.Namespace) -> dict:
     import numpy as np
 
-    classifier = _load_for_inference(args)
+    classifier = _load_for_inference(args, allowed=("inference", "clustering"))
     dataset = classifier.dataset_
     # One embedding pass feeds both the prediction and the accuracy report.
     embeddings = classifier.embed()

@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.clustering.metrics import (
+    adjusted_rand_index,
     inertia,
+    normalized_mutual_information,
     pairwise_distances,
     silhouette_samples,
     silhouette_score,
@@ -88,3 +90,104 @@ class TestInertia:
         centers = np.array([[1.0], [10.0]])
         labels = np.array([0, 0, 1])
         assert inertia(data, labels, centers) == pytest.approx(2.0)
+
+
+class TestNormalizedMutualInformation:
+    def test_identical_labelings_score_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_renamed_labelings_score_one(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([7, 7, 3, 3, 9, 9])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_score_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(4, size=4000)
+        b = rng.integers(4, size=4000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_single_cluster_both_sides_is_one(self):
+        # Both labelings have zero entropy: identical trivial partitions.
+        assert normalized_mutual_information([0, 0, 0], [5, 5, 5]) == 1.0
+
+    def test_single_cluster_against_nontrivial_is_zero(self):
+        # Previously a 0/0: one labeling has zero entropy, no shared info.
+        assert normalized_mutual_information([0, 0, 0], [0, 1, 2]) == 0.0
+        assert normalized_mutual_information([0, 1, 2], [0, 0, 0]) == 0.0
+
+    def test_all_singletons_both_sides_is_one(self):
+        assert normalized_mutual_information([0, 1, 2, 3], [9, 8, 7, 6]) == \
+            pytest.approx(1.0)
+
+    def test_empty_and_single_sample_defined(self):
+        assert normalized_mutual_information([], []) == 1.0
+        assert normalized_mutual_information([3], [8]) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0, 1], [0, 1, 2])
+
+
+class TestAdjustedRandIndex:
+    def test_identical_labelings_score_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_renamed_labelings_score_one(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([7, 7, 3, 3, 9, 9])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_score_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(4, size=4000)
+        b = rng.integers(4, size=4000)
+        assert abs(adjusted_rand_index(a, b)) < 0.01
+
+    def test_known_value(self):
+        # sklearn.metrics.adjusted_rand_score([0,0,1,1], [0,0,1,2]) == 0.5714...
+        assert adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 2]) == \
+            pytest.approx(0.5714285714285714)
+
+    def test_single_cluster_both_sides_is_one(self):
+        # Previously a 0/0 division; per sklearn both-trivial partitions match.
+        assert adjusted_rand_index([0, 0, 0], [4, 4, 4]) == 1.0
+
+    def test_all_singletons_both_sides_is_one(self):
+        assert adjusted_rand_index([0, 1, 2], [5, 6, 7]) == 1.0
+
+    def test_single_cluster_against_singletons_is_zero(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_empty_and_single_sample_defined(self):
+        assert adjusted_rand_index([], []) == 1.0
+        assert adjusted_rand_index([3], [8]) == 1.0
+
+
+class TestSparseContingency:
+    def test_fine_grained_labelings_stay_linear_memory(self):
+        # 200k all-singleton labels would need a 200k x 200k dense
+        # contingency matrix (~320 GB); the sparse path handles it easily.
+        n = 200_000
+        labels = np.arange(n)
+        shuffled = labels + 1_000_000  # renamed singletons
+        assert normalized_mutual_information(labels, shuffled) == pytest.approx(1.0)
+        assert adjusted_rand_index(labels, shuffled) == 1.0
+
+    def test_sparse_path_matches_small_dense_values(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(6, size=500)
+        b = rng.integers(4, size=500)
+        # Reference values from the dense-matrix formulation.
+        table = np.zeros((6, 4))
+        np.add.at(table, (a, b), 1.0)
+        rows, cols = table.sum(1), table.sum(0)
+        nonzero = table > 0
+        joint = table[nonzero] / 500
+        outer = np.outer(rows, cols)[nonzero] / (500.0 * 500.0)
+        mi = (joint * np.log(joint / outer)).sum()
+        h = lambda c: -(c[c > 0] / 500 * np.log(c[c > 0] / 500)).sum()  # noqa: E731
+        expected = mi / (0.5 * (h(rows) + h(cols)))
+        assert normalized_mutual_information(a, b) == pytest.approx(expected)

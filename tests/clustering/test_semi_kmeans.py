@@ -67,3 +67,54 @@ class TestSemiSupervisedKMeans:
         )
         assert result.inertia > 0
         assert np.isfinite(result.centers).all()
+
+
+class TestEmptyClusterReseeding:
+    """Regression: empty clusters are re-seeded from the farthest-point pool.
+
+    ``data_seed=9, seed=4, k=8`` produces an empty cluster on the very first
+    assignment (found by scanning seeds); the stale-center code path used to
+    leave it empty forever.
+    """
+
+    def make_inputs(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(size=(60, 2))
+        labeled_indices = np.arange(6)
+        labeled_classes = np.array([0, 0, 0, 1, 1, 1])
+        return data, labeled_indices, labeled_classes
+
+    def test_empty_cluster_is_reseeded(self):
+        data, labeled_indices, labeled_classes = self.make_inputs()
+        result = SemiSupervisedKMeans(8, seed=4).fit(
+            data, labeled_indices, labeled_classes)
+        counts = np.bincount(result.labels, minlength=8)
+        assert (counts > 0).all()
+
+    def test_reseeding_is_deterministic(self):
+        data, labeled_indices, labeled_classes = self.make_inputs()
+        first = SemiSupervisedKMeans(8, seed=4).fit(
+            data, labeled_indices, labeled_classes)
+        second = SemiSupervisedKMeans(8, seed=4).fit(
+            data, labeled_indices, labeled_classes)
+        assert np.array_equal(first.labels, second.labels)
+        assert np.array_equal(first.centers, second.centers)
+
+    def test_more_empty_clusters_than_samples_still_completes(self):
+        # Degenerate n < num_clusters input: most clusters are necessarily
+        # empty and the farthest-point pool is smaller than the number of
+        # empty clusters; the reseed falls back to replacement instead of
+        # crashing.
+        data = np.full((5, 2), 0.5) + np.arange(5)[:, None] * 1e-9
+        result = SemiSupervisedKMeans(8, seed=0).fit(
+            data, np.array([0]), np.array([0]))
+        assert result.labels.shape == (5,)
+        assert np.isfinite(result.centers).all()
+
+    def test_reseeding_does_not_touch_global_rng(self):
+        data, labeled_indices, labeled_classes = self.make_inputs()
+        np.random.seed(123)
+        expected_draw = np.random.random()
+        np.random.seed(123)
+        SemiSupervisedKMeans(8, seed=4).fit(data, labeled_indices, labeled_classes)
+        assert np.random.random() == expected_draw

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.core.config import (
+    ClusteringConfig,
     EncoderConfig,
     OpenIMAConfig,
     OptimizerConfig,
@@ -19,8 +20,11 @@ ALL_CONFIGS = [
     EncoderConfig(kind="gcn", hidden_dim=48, backend="dense"),
     OptimizerConfig(learning_rate=3e-3, weight_decay=0.0),
     SamplingConfig(mode="sampled", num_hops=3, fanouts=[5, 5, 5], seed=2),
+    ClusteringConfig(strategy="online", sample_size=512, warm_start=True,
+                     refresh_tolerance=8, seed=5),
     fast_config(max_epochs=5, seed=3, encoder_kind="gat"),
     fast_config(sampling=SamplingConfig(mode="khop")),
+    fast_config(clustering=ClusteringConfig(strategy="minibatch")),
     OpenIMAConfig(eta=2.5, rho=50.0, large_scale=True, num_novel_classes=4),
 ]
 
@@ -82,6 +86,27 @@ class TestSamplingConfig:
 
     def test_full_mode_keeps_fanouts_none(self):
         assert SamplingConfig().fanouts is None
+
+
+class TestClusteringConfig:
+    def test_trainer_config_nests_clustering_dict(self):
+        config = TrainerConfig.from_dict(
+            {"clustering": {"strategy": "minibatch", "sample_size": 256}})
+        assert config.clustering == ClusteringConfig(strategy="minibatch",
+                                                     sample_size=256)
+
+    def test_openima_config_nests_clustering_dict(self):
+        config = OpenIMAConfig.from_dict(
+            {"trainer": {"clustering": {"strategy": "online"}}})
+        assert config.trainer.clustering.strategy == "online"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown clustering strategy"):
+            ClusteringConfig(strategy="turbo")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown ClusteringConfig keys"):
+            TrainerConfig.from_dict({"clustering": {"warmstart": True}})
 
 
 class TestValidation:

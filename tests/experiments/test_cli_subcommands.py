@@ -218,3 +218,49 @@ class TestListCommands:
         main(["list-methods", "--output", str(tmp_path / "methods.json")])
         loaded = load_results(tmp_path / "methods.json")
         assert any(row["name"] == "openima" for row in loaded["methods"])
+
+
+class TestClusteringOverrides:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt"
+        main(TINY_RUN + ["--save", str(path)])
+        return path
+
+    def test_run_clustering_strategy_via_set(self, tmp_path):
+        path = tmp_path / "mb-ckpt"
+        result = main(TINY_RUN + ["--set", "trainer.clustering.strategy=minibatch",
+                                  "--set", "trainer.clustering.sample_size=64",
+                                  "--save", str(path)])
+        assert result["epochs_trained"] == 1
+        resumed = main(["resume", str(path), "--epochs", "2"])
+        assert resumed["epochs_trained"] == 2
+
+    def test_run_unknown_clustering_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown ClusteringConfig keys"):
+            main(TINY_RUN + ["--set", "trainer.clustering.stratgy=online"])
+
+    def test_run_unknown_clustering_strategy_fails_loudly(self):
+        with pytest.raises(ValueError, match="clustering strategy"):
+            main(TINY_RUN + ["--set", "trainer.clustering.strategy=spectral"])
+
+    def test_predict_accepts_clustering_override(self, checkpoint):
+        result = main(["predict", str(checkpoint),
+                       "--set", "clustering.strategy=minibatch",
+                       "--set", "clustering.sample_size=64"])
+        assert 0.0 <= result["accuracy"]["all"] <= 1.0
+
+    def test_predict_rejects_unknown_clustering_key(self, checkpoint):
+        with pytest.raises(ValueError, match="unknown ClusteringConfig keys"):
+            main(["predict", str(checkpoint),
+                  "--set", "clustering.stratgy=minibatch"])
+
+    def test_embed_rejects_clustering_override(self, checkpoint, tmp_path):
+        # embed never clusters; only inference.* is meaningful there.
+        with pytest.raises(ValueError, match="inference"):
+            main(["embed", str(checkpoint), str(tmp_path / "emb.npz"),
+                  "--set", "clustering.strategy=minibatch"])
+
+    def test_bare_clustering_override_rejected(self, checkpoint):
+        with pytest.raises(ValueError, match="clustering.strategy=minibatch"):
+            main(["predict", str(checkpoint), "--set", "clustering=minibatch"])
