@@ -224,6 +224,19 @@ class OpenWorldClassifier:
         """The fitted trainer's clustering engine (refresh/refit counters)."""
         return self._require_fitted().clustering_engine
 
+    def as_service(self):
+        """A :class:`repro.serve.PredictionService` owning this fitted model.
+
+        The service is the single writer of model state for online serving:
+        it publishes immutable per-version prediction snapshots that many
+        request threads read concurrently (see :mod:`repro.serve`).
+        """
+        # Imported lazily: repro.serve builds on this module.
+        from ..serve import PredictionService
+
+        self._require_fitted()
+        return PredictionService(self)
+
     @property
     def history(self) -> TrainingHistory:
         return self._require_fitted().history

@@ -20,6 +20,13 @@ inference bounds peak memory on large graphs)::
     python -m repro.experiments.cli predict runs/openima-citeseer \
         --predictions-npz pred.npz --output pred.json
 
+Serve predictions from that checkpoint over HTTP (loads once, keeps the
+embedding cache warm, coalesces concurrent queries; Ctrl-C / SIGTERM shuts
+down gracefully)::
+
+    python -m repro.experiments.cli serve runs/openima-citeseer \
+        --port 8741 --batch-window-ms 2 --set inference.mode=layerwise
+
 Discover what is available::
 
     python -m repro.experiments.cli list-methods
@@ -179,6 +186,34 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--output", type=str, default=None,
                          help="optional path for the predictions + accuracy JSON")
     predict.set_defaults(handler=_handle_predict)
+
+    # -- serving -------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve", help="serve single-node and micro-batched predictions from "
+                      "a checkpoint over HTTP")
+    serve.add_argument("checkpoint", help="checkpoint directory written by run --save")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8741,
+                       help="port to bind; 0 picks a free port (default: 8741)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batch window: concurrent queries arriving "
+                            "within this many ms share one model call "
+                            "(default: 2.0; 0 disables waiting)")
+    serve.add_argument("--max-batch", type=int, default=1024,
+                       help="maximum nodes per coalesced batch (default: 1024)")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip the startup snapshot build (first query "
+                            "pays for it instead)")
+    serve.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       dest="overrides",
+                       help="inference/clustering override (repeatable), e.g. "
+                            "--set inference.mode=layerwise "
+                            "--set clustering.strategy=minibatch")
+    serve.add_argument("--output", type=str, default=None,
+                       help="optional path for a JSON copy of the final "
+                            "serving stats")
+    serve.set_defaults(handler=_handle_serve)
 
     # -- listings ------------------------------------------------------
     list_methods = subparsers.add_parser(
@@ -411,6 +446,48 @@ def _handle_predict(args: argparse.Namespace) -> dict:
         # was requested; bulk export goes through --predictions-npz.
         payload["predictions"] = [int(p) for p in result.predictions]
     return payload
+
+
+def _handle_serve(args: argparse.Namespace) -> dict:
+    from ..serve import ModelServer, PredictionService, ServeConfig
+
+    classifier = _load_for_inference(args, allowed=("inference", "clustering"))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        warm=not args.no_warm,
+    )
+    server = ModelServer(PredictionService(classifier), config)
+    server.start()
+    host, port = server.address[0], server.port
+    print(
+        f"serving {classifier.method} on {classifier.dataset_.name} "
+        f"({classifier.trainer_.dataset.graph.num_nodes} nodes) at "
+        f"http://{host}:{port} — POST /predict, GET /health, GET /stats "
+        f"(Ctrl-C to stop)",
+        flush=True,
+    )
+    server.serve_forever(install_signals=True)
+    stats = server.stats()
+    latency = stats["latency"]
+    lines = [
+        "server stopped",
+        f"requests:  {latency['requests']}",
+    ]
+    if latency["requests"]:
+        lines.append(
+            f"latency:   p50={latency['p50_ms']:.2f} ms  "
+            f"p99={latency['p99_ms']:.2f} ms  qps={latency['qps']:.1f}"
+        )
+    return {
+        "report": "\n".join(lines),
+        "method": classifier.method,
+        "dataset": classifier.dataset_.name,
+        "address": [host, port],
+        "stats": stats,
+    }
 
 
 def _handle_resume(args: argparse.Namespace) -> dict:

@@ -9,12 +9,19 @@ if and only if nothing observable has changed.  Stale reuse is structurally
 impossible: any parameter update changes the counter, and the graph is held
 by weak reference so a freshly built graph at a recycled address can never
 alias the cached one.
+
+The cache is safe under concurrent readers: the entry is an immutable tuple
+swapped atomically under a lock, lookups take a consistent snapshot, and the
+hit/miss counters are incremented under the same lock — a precondition for
+the long-lived serving layer (:mod:`repro.serve`), where many request
+threads read while a single writer refreshes.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,13 +35,18 @@ class ParamVersion:
     Two snapshots compare equal when they refer to the *same live module*
     with the *same parameter version counter*.  The module is held weakly,
     so a snapshot never keeps a model alive, and a dead referent never
-    matches anything.
+    matches anything.  The referent's identity is captured **at
+    construction**, so the hash is stable for the snapshot's whole lifetime
+    even after the module is garbage-collected (a hash computed from
+    ``id(self._module_ref())`` would silently flip to ``id(None)`` at
+    collection time, corrupting any dict/set keyed by the snapshot).
     """
 
-    __slots__ = ("_module_ref", "counter")
+    __slots__ = ("_module_ref", "_module_id", "counter")
 
     def __init__(self, module: Module):
         self._module_ref = weakref.ref(module)
+        self._module_id = id(module)
         self.counter = module.parameter_version()
 
     @property
@@ -53,12 +65,16 @@ class ParamVersion:
         return mine is not None and mine is theirs and self.counter == other.counter
 
     def __hash__(self) -> int:
-        return hash((id(self._module_ref()), self.counter))
+        return hash((self._module_id, self.counter))
 
     def __repr__(self) -> str:
         module = self._module_ref()
         target = type(module).__name__ if module is not None else "<dead>"
         return f"ParamVersion({target}, counter={self.counter})"
+
+
+#: One cache entry: (param version, graph weakref, graph cache_version, value).
+_CacheEntry = Tuple[ParamVersion, "weakref.ref", int, np.ndarray]
 
 
 class EmbeddingCache:
@@ -76,41 +92,70 @@ class EmbeddingCache:
     """
 
     def __init__(self):
-        self._version: Optional[ParamVersion] = None
-        self._graph_ref: Optional[weakref.ref] = None
-        self._graph_version: int = -1
-        self._value: Optional[np.ndarray] = None
+        self._entry: Optional[_CacheEntry] = None
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, encoder: Module, graph: Graph) -> Optional[np.ndarray]:
         """Return the cached embeddings, or None on any mismatch."""
-        if (
-            self._value is not None
-            and self._graph_ref is not None
-            and self._graph_ref() is graph
-            and getattr(graph, "cache_version", 0) == self._graph_version
-            and self._version is not None
-            and self._version.is_current()
-            and self._version.module is encoder
-        ):
-            self.hits += 1
-            return self._value
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entry
+            if (
+                entry is not None
+                and entry[1]() is graph
+                and getattr(graph, "cache_version", 0) == entry[2]
+                and entry[0].is_current()
+                and entry[0].module is encoder
+            ):
+                self.hits += 1
+                return entry[3]
+            self.misses += 1
+            return None
 
-    def store(self, encoder: Module, graph: Graph, embeddings: np.ndarray) -> np.ndarray:
-        """Cache ``embeddings`` for the encoder's current parameter version."""
+    def store(
+        self,
+        encoder: Module,
+        graph: Graph,
+        embeddings: np.ndarray,
+        *,
+        copy: bool = True,
+    ) -> np.ndarray:
+        """Cache ``embeddings`` for the encoder's current parameter version.
+
+        The cached array is frozen (``writeable=False``), so the cache must
+        own it: with ``copy=True`` (the default) a writeable ndarray input
+        is copied first, leaving the caller's array untouched.  Pass
+        ``copy=False`` only when handing over ownership of a freshly
+        computed array with no other live references — then the freeze is
+        free.
+        """
         embeddings = np.asarray(embeddings)
+        if copy and embeddings.flags.writeable:
+            embeddings = embeddings.copy()
         embeddings.setflags(write=False)
-        self._version = ParamVersion(encoder)
-        self._graph_ref = weakref.ref(graph)
-        self._graph_version = getattr(graph, "cache_version", 0)
-        self._value = embeddings
+        entry: _CacheEntry = (
+            ParamVersion(encoder),
+            weakref.ref(graph),
+            getattr(graph, "cache_version", 0),
+            embeddings,
+        )
+        with self._lock:
+            self._entry = entry
         return embeddings
 
     def invalidate(self) -> None:
         """Drop the cached entry (the hit/miss counters are kept)."""
-        self._version = None
-        self._graph_ref = None
-        self._value = None
+        with self._lock:
+            self._entry = None
+
+    def stats(self) -> dict:
+        """A consistent (hits, misses) snapshot plus the derived hit rate."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }

@@ -75,7 +75,9 @@ class InferenceEngine:
                 return cached
         embeddings = self._compute(encoder, graph)
         if self.cache is not None:
-            return self.cache.store(encoder, graph, embeddings)
+            # The freshly computed array has no other live reference, so the
+            # cache may freeze it in place instead of copying.
+            return self.cache.store(encoder, graph, embeddings, copy=False)
         return embeddings
 
     def _compute(self, encoder: Module, graph: Graph) -> np.ndarray:

@@ -1,0 +1,110 @@
+"""Tiny stdlib client for a running ``repro serve`` instance.
+
+One connection per call keeps the client trivially thread-safe; for
+sustained benchmarking, each thread should hold its own
+:class:`ServeClient` (the underlying ``http.client`` connection is reused
+across calls on one instance when possible).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import List, Optional, Sequence
+
+
+class ServeClientError(RuntimeError):
+    """A non-2xx response from the server (carries the decoded payload)."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for :class:`~repro.serve.ModelServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8741,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            status = response.status
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive connection (e.g. server restarted): retry once
+            # on a fresh socket.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            status = response.status
+        if status >= 400:
+            raise ServeClientError(status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def predict(self, node: int) -> dict:
+        """Single-node query: prediction, cluster, known-class logits."""
+        return self._request("POST", "/predict", {"node": int(node)})["result"]
+
+    def predict_batch(self, nodes: Sequence[int]) -> List[dict]:
+        """Micro-batched query; same per-node payloads as :meth:`predict`."""
+        body = {"nodes": [int(n) for n in nodes]}
+        return self._request("POST", "/predict", body)["results"]
+
+    def wait_until_ready(self, timeout: float = 30.0,
+                         interval: float = 0.05) -> dict:
+        """Poll ``/health`` until the server answers (startup handshake)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                self.close()
+                time.sleep(interval)
+        raise TimeoutError(
+            f"server at {self.host}:{self.port} not ready after {timeout}s"
+        ) from last_error

@@ -1,0 +1,173 @@
+"""Micro-batching of concurrent prediction requests.
+
+:class:`RequestCoalescer` funnels requests from many transport threads into
+one worker: the first pending request opens a batch window
+(``batch_window_ms``), every request arriving inside it joins the batch, and
+the whole batch is answered by **one** call to the batch function (one
+snapshot access — and at most one encoder pass — instead of one per
+request).  Results are split back per request, so callers cannot observe
+whether they were batched: the service guarantees a coalesced micro-batch
+is bit-for-bit identical to independent single-node queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Sequence
+
+
+class _Pending:
+    __slots__ = ("nodes", "future")
+
+    def __init__(self, nodes: List[int]):
+        self.nodes = nodes
+        self.future: Future = Future()
+
+
+class RequestCoalescer:
+    """Batch concurrent requests within a small window into one model call.
+
+    Parameters
+    ----------
+    batch_fn:
+        Called with the concatenated node ids of every request in the batch;
+        must return one result per node, in order.
+    batch_window_ms:
+        How long the worker waits after the first request for stragglers to
+        join the batch.  ``0`` disables waiting (each drain takes whatever
+        is already queued).
+    max_batch:
+        Upper bound on nodes per batch; requests beyond it stay queued for
+        the next batch.
+    """
+
+    def __init__(
+        self,
+        batch_fn: Callable[[List[int]], List[dict]],
+        batch_window_ms: float = 2.0,
+        max_batch: int = 1024,
+    ):
+        self._batch_fn = batch_fn
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch = int(max_batch)
+        self._pending: List[_Pending] = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._stop = False
+        self._worker: threading.Thread = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True)
+        self._started = False
+        # Counters (read for /stats; single-writer from the worker thread).
+        self.batches = 0
+        self.requests = 0
+        self.coalesced_requests = 0
+        self.max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RequestCoalescer":
+        if not self._started:
+            self._started = True
+            self._worker.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        with self._wakeup:
+            self._stop = True
+            self._wakeup.notify_all()
+        if self._started:
+            self._worker.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, nodes: Sequence[int]) -> Future:
+        """Enqueue a request; the Future resolves to one result per node."""
+        pending = _Pending([int(n) for n in nodes])
+        with self._wakeup:
+            if self._stop:
+                raise RuntimeError("coalescer is stopped")
+            self._pending.append(pending)
+            self._wakeup.notify_all()
+        return pending.future
+
+    def predict(self, nodes: Sequence[int], timeout: float = 30.0) -> List[dict]:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(nodes).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> List[_Pending]:
+        """Wait for work, hold the window open, then take up to max_batch."""
+        with self._wakeup:
+            while not self._pending and not self._stop:
+                self._wakeup.wait(timeout=0.1)
+            if not self._pending:
+                return []
+        # Window: let concurrent requests land in the same batch.  Sleeping
+        # outside the lock keeps submit() non-blocking during the window.
+        if self.batch_window_ms > 0:
+            time.sleep(self.batch_window_ms / 1e3)
+        with self._wakeup:
+            batch: List[_Pending] = []
+            size = 0
+            while self._pending and size + len(self._pending[0].nodes) <= self.max_batch:
+                pending = self._pending.pop(0)
+                batch.append(pending)
+                size += len(pending.nodes)
+            if not batch and self._pending:
+                # A single oversized request: take it alone rather than stall.
+                batch.append(self._pending.pop(0))
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                with self._wakeup:
+                    if self._stop and not self._pending:
+                        return
+                continue
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        nodes: List[int] = []
+        for pending in batch:
+            nodes.extend(pending.nodes)
+        self.batches += 1
+        self.requests += len(batch)
+        if len(batch) > 1:
+            self.coalesced_requests += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(nodes))
+        try:
+            results = self._batch_fn(nodes)
+            if len(results) != len(nodes):
+                raise RuntimeError(
+                    f"batch_fn returned {len(results)} results for "
+                    f"{len(nodes)} nodes")
+        except BaseException as exc:  # propagate per request, keep serving
+            for pending in batch:
+                pending.future.set_exception(exc)
+            return
+        offset = 0
+        for pending in batch:
+            pending.future.set_result(results[offset:offset + len(pending.nodes)])
+            offset += len(pending.nodes)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "batches": self.batches,
+            "requests": self.requests,
+            "coalesced_requests": self.coalesced_requests,
+            "max_batch_nodes": self.max_batch_seen,
+            "mean_requests_per_batch": (
+                self.requests / self.batches if self.batches else 0.0),
+        }

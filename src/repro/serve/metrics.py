@@ -1,0 +1,71 @@
+"""Thread-safe request metrics for the serving layer.
+
+:class:`LatencyRecorder` keeps a bounded window of per-request latencies and
+derives p50/p99 and sustained throughput from it.  Recording is O(1) under a
+lock; percentile computation sorts the window on demand (snapshotting is a
+diagnostics path, not a hot path).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: Latency samples kept for percentile estimation.  At serving rates of
+#: thousands of queries/sec this still spans multiple seconds of traffic.
+DEFAULT_WINDOW = 8192
+
+
+class LatencyRecorder:
+    """Record per-request wall-clock latencies and summarize them."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._samples: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total_seconds = 0.0
+        self._started = time.perf_counter()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total_seconds += seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile latency in seconds (None with no samples)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        rank = min(len(samples) - 1, max(0, round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+    def snapshot(self) -> dict:
+        """Counters + percentiles in milliseconds, plus sustained qps."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count = self._count
+            total = self._total_seconds
+            elapsed = time.perf_counter() - self._started
+
+        def pct(q: float) -> Optional[float]:
+            if not samples:
+                return None
+            rank = min(len(samples) - 1, max(0, round(q / 100.0 * (len(samples) - 1))))
+            return samples[rank] * 1e3
+
+        return {
+            "requests": count,
+            "mean_ms": (total / count * 1e3) if count else None,
+            "p50_ms": pct(50.0),
+            "p99_ms": pct(99.0),
+            "qps": count / elapsed if elapsed > 0 else 0.0,
+        }

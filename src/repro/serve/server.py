@@ -1,0 +1,231 @@
+"""Stdlib HTTP transport for the prediction service.
+
+:class:`ModelServer` glues the pieces together: a
+:class:`~repro.serve.service.PredictionService` owns the model (single
+writer), a :class:`~repro.serve.coalescer.RequestCoalescer` micro-batches
+concurrent queries, a :class:`~http.server.ThreadingHTTPServer` handles the
+sockets (many readers), and a :class:`~repro.serve.metrics.LatencyRecorder`
+tracks per-request latency.  Endpoints:
+
+* ``GET  /health``  — liveness + model identity
+* ``GET  /stats``   — latency percentiles, qps, cache hit rate, batch sizes
+* ``POST /predict`` — ``{"node": 3}`` or ``{"nodes": [3, 4, 5]}`` →
+  per-node known-class logits, cluster assignment, and prediction
+
+Shutdown is graceful: SIGINT/SIGTERM (or :meth:`ModelServer.shutdown`)
+stops accepting connections, drains the coalescer, and unblocks
+:meth:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .coalescer import RequestCoalescer
+from .metrics import LatencyRecorder
+from .service import PredictionService
+
+
+@dataclass
+class ServeConfig:
+    """Transport/batching knobs for :class:`ModelServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8741
+    batch_window_ms: float = 2.0
+    max_batch: int = 1024
+    warm: bool = True
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ModelServer`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The ModelServer is attached to the socket server instance.
+    @property
+    def model_server(self) -> "ModelServer":
+        return self.server.model_server  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging would drown the benchmark output
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            self._reply(200, self.model_server.health())
+        elif self.path == "/stats":
+            self._reply(200, self.model_server.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        start = time.perf_counter()
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            if "node" in request:
+                nodes = [request["node"]]
+                single = True
+            elif "nodes" in request:
+                nodes = list(request["nodes"])
+                single = False
+            else:
+                raise ValueError('request needs "node" or "nodes"')
+            if not nodes:
+                raise ValueError("empty node list")
+            results = self.model_server.predict(nodes)
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        except RuntimeError as exc:
+            self._reply(503, {"error": str(exc)})
+            return
+        payload = {
+            "results": results,
+            "model_version": self.model_server.service.snapshot().version,
+        }
+        if single:
+            payload["result"] = results[0]
+        self.model_server.latency.record(time.perf_counter() - start)
+        self._reply(200, payload)
+
+
+class ModelServer:
+    """Persistent prediction server over a checkpointed classifier.
+
+    Load once, serve many: the underlying service keeps the versioned
+    embedding cache warm, so after the first query (or an explicit
+    :meth:`start` with ``config.warm``) every request is answered without
+    an encoder pass until the model or graph version changes.
+    """
+
+    def __init__(self, service: PredictionService,
+                 config: Optional[ServeConfig] = None):
+        self.service = service
+        self.config = config or ServeConfig()
+        self.latency = LatencyRecorder()
+        self.coalescer = RequestCoalescer(
+            service.query,
+            batch_window_ms=self.config.batch_window_ms,
+            max_batch=self.config.max_batch,
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serving = threading.Event()
+        self._shutdown_started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ModelServer":
+        """Bind the socket, warm the snapshot, and start the coalescer."""
+        if self._httpd is not None:
+            return self
+        if self.config.warm:
+            self.service.warm()
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.model_server = self  # type: ignore[attr-defined]
+        self.coalescer.start()
+        self._serving.set()
+        return self
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` (port resolved when config.port is 0)."""
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address
+
+    @property
+    def port(self) -> int:
+        return int(self.address[1])
+
+    def serve_forever(self, install_signals: bool = False) -> None:
+        """Block serving requests until :meth:`shutdown` (or SIGINT/SIGTERM)."""
+        if self._httpd is None:
+            self.start()
+        if install_signals:
+            self.install_signal_handlers()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._finalize()
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (tests/benchmarks)."""
+        self.start()
+        thread = threading.Thread(target=self.serve_forever,
+                                  name="repro-serve-http", daemon=True)
+        thread.start()
+        return thread
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGINT/SIGTERM to a graceful shutdown."""
+
+        def handler(signum, frame):
+            # shutdown() must not run on the thread blocked in
+            # serve_forever (it would deadlock waiting for the loop), and
+            # signal handlers run on the main thread — hand it off.
+            threading.Thread(target=self.shutdown,
+                             name="repro-serve-shutdown").start()
+
+        signal.signal(signal.SIGINT, handler)
+        signal.signal(signal.SIGTERM, handler)
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, drain in-flight batches, release the port."""
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+
+    def _finalize(self) -> None:
+        self._serving.clear()
+        self.coalescer.stop()
+        if self._httpd is not None:
+            self._httpd.server_close()
+            self._httpd = None
+
+    # ------------------------------------------------------------------
+    # Request surface (used by the HTTP handler and direct callers)
+    # ------------------------------------------------------------------
+    def predict(self, nodes) -> list:
+        """Answer a query through the coalescer (micro-batched)."""
+        return self.coalescer.predict(nodes)
+
+    def health(self) -> dict:
+        info = self.service.info()
+        info["status"] = "ok"
+        return info
+
+    def stats(self) -> dict:
+        return {
+            "latency": self.latency.snapshot(),
+            "coalescer": self.coalescer.stats(),
+            "service": self.service.stats(),
+        }
+
+    def __repr__(self) -> str:
+        state = "serving" if self._serving.is_set() else "stopped"
+        return (f"ModelServer({self.service.classifier.method!r}, "
+                f"{self.config.host}:{self.config.port}, {state})")

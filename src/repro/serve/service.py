@@ -1,0 +1,203 @@
+"""Model-state ownership for the serving layer.
+
+The split that makes a long-lived server safe on this codebase:
+
+* **Single writer** — all model compute (encoder passes, clustering,
+  head logits) happens inside :meth:`PredictionService.snapshot` under one
+  lock.  The autodiff runtime keeps process-global state (``no_grad`` is a
+  module-level flag), so concurrent encoder passes are not safe; the
+  service serializes them and everything downstream of the paper's
+  two-stage procedure is computed once per parameter/graph version.
+* **Many readers** — the result of that pass is published as an immutable
+  :class:`ServingSnapshot` (read-only arrays, atomically swapped
+  reference).  Answering a query is pure numpy slicing against the
+  snapshot; any number of request threads can do it concurrently without
+  touching the model.
+
+Because every query against one snapshot reads from the same full-graph
+:class:`~repro.core.inference.InferenceResult`, a coalesced micro-batch is
+*bit-for-bit* identical to N independent single-node queries — batching is
+purely a throughput decision.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..api.classifier import OpenWorldClassifier
+from ..core.inference import InferenceResult
+
+
+@dataclass(frozen=True)
+class ServingSnapshot:
+    """Immutable, fully materialized prediction state for one model version.
+
+    Everything a query needs is precomputed: per-node class predictions
+    (original seen ids / synthetic novel ids), the raw K-Means cluster
+    assignment, and the head logits restricted to the seen (known) classes.
+    All arrays are read-only; readers slice, never mutate.
+    """
+
+    method: str
+    dataset: str
+    param_counter: int
+    graph_version: int
+    num_nodes: int
+    seen_classes: np.ndarray
+    predictions: np.ndarray
+    cluster_labels: np.ndarray
+    known_logits: np.ndarray
+    novel_offset: int
+    result: InferenceResult = field(repr=False)
+    embeddings: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def version(self) -> dict:
+        return {"param_counter": self.param_counter,
+                "graph_version": self.graph_version}
+
+    def query(self, nodes: Sequence[int]) -> List[dict]:
+        """Per-node prediction payloads for ``nodes`` (validated ids)."""
+        payloads = []
+        for raw in nodes:
+            node = int(raw)
+            if not 0 <= node < self.num_nodes:
+                raise IndexError(
+                    f"node id {node} out of range [0, {self.num_nodes})")
+            prediction = int(self.predictions[node])
+            # Novel predictions are synthetic ids starting one past the
+            # largest seen class id (LabelSpace.to_original).
+            is_novel = prediction >= self.novel_offset
+            payloads.append({
+                "node": node,
+                "prediction": prediction,
+                "is_novel": is_novel,
+                "novel_cluster": int(self.cluster_labels[node]) if is_novel else None,
+                "cluster": int(self.cluster_labels[node]),
+                "known_logits": [float(v) for v in self.known_logits[node]],
+            })
+        return payloads
+
+
+class PredictionService:
+    """Owns a fitted :class:`OpenWorldClassifier` and serves query snapshots.
+
+    The service is the single writer of model state: snapshot builds are
+    serialized by a lock, and the published snapshot is swapped atomically
+    so readers always see a complete, consistent version.  Repeated queries
+    against unchanged parameters cost zero encoder passes — the underlying
+    :class:`~repro.inference.EmbeddingCache` stays warm and the snapshot is
+    reused until the parameter or graph version moves.
+    """
+
+    def __init__(self, classifier: OpenWorldClassifier):
+        self.classifier = classifier
+        self._trainer = classifier._require_fitted()
+        self._lock = threading.Lock()
+        self._snapshot: Optional[ServingSnapshot] = None
+        #: Full prediction rebuilds performed (== distinct versions served).
+        self.snapshot_builds = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle (single writer)
+    # ------------------------------------------------------------------
+    def _current_version(self) -> tuple:
+        return (self._trainer.encoder.parameter_version(),
+                getattr(self._trainer.dataset.graph, "cache_version", 0))
+
+    def _is_current(self, snapshot: Optional[ServingSnapshot]) -> bool:
+        if snapshot is None:
+            return False
+        param, graph = self._current_version()
+        if snapshot.param_counter != param or snapshot.graph_version != graph:
+            return False
+        cache = self._trainer.inference_engine.cache
+        if cache is None:
+            return True
+        # The embedding cache is the source of truth for staleness: a warm
+        # repeat query is an explicit cache hit (counted), and an entry
+        # that was invalidated or replaced behind our back forces a rebuild
+        # instead of serving from a snapshot the cache no longer backs.
+        return cache.lookup(self._trainer.encoder,
+                            self._trainer.dataset.graph) is snapshot.embeddings
+
+    def snapshot(self) -> ServingSnapshot:
+        """The up-to-date snapshot, rebuilding under the writer lock if stale."""
+        snapshot = self._snapshot
+        if self._is_current(snapshot):
+            return snapshot
+        with self._lock:
+            snapshot = self._snapshot
+            if self._is_current(snapshot):
+                # Another writer rebuilt while this thread waited.
+                return snapshot
+            snapshot = self._build_snapshot()
+            self._snapshot = snapshot
+            return snapshot
+
+    def _build_snapshot(self) -> ServingSnapshot:
+        trainer = self._trainer
+        param_counter, graph_version = self._current_version()
+        embeddings = trainer.node_embeddings()
+        result = trainer.predict(embeddings=embeddings)
+        logits = trainer.head_logits(embeddings=embeddings)
+        label_space = result.label_space
+        known_logits = np.ascontiguousarray(logits[:, :label_space.num_seen])
+        known_logits.setflags(write=False)
+        self.snapshot_builds += 1
+        return ServingSnapshot(
+            method=self.classifier.method,
+            dataset=getattr(self.classifier.dataset_, "name", "?"),
+            param_counter=param_counter,
+            graph_version=graph_version,
+            num_nodes=int(trainer.dataset.graph.num_nodes),
+            seen_classes=label_space.seen_classes,
+            predictions=result.predictions,
+            cluster_labels=result.cluster_result.labels,
+            known_logits=known_logits,
+            novel_offset=int(label_space.seen_classes.max()) + 1,
+            result=result,
+            embeddings=embeddings,
+        )
+
+    def warm(self) -> ServingSnapshot:
+        """Build the snapshot (and the embedding cache) before serving traffic."""
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Query surface (many readers)
+    # ------------------------------------------------------------------
+    def query(self, nodes: Sequence[int]) -> List[dict]:
+        """Predictions for ``nodes``; identical whether batched or one-by-one."""
+        return self.snapshot().query(nodes)
+
+    def query_one(self, node: int) -> dict:
+        return self.query([node])[0]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        engine = self._trainer.inference_engine
+        cache = engine.cache.stats() if engine.cache is not None else None
+        return {
+            "snapshot_builds": self.snapshot_builds,
+            "encoder_forwards": engine.forward_count,
+            "embedding_cache": cache,
+            "model_version": (self._snapshot.version
+                              if self._snapshot is not None else None),
+        }
+
+    def info(self) -> dict:
+        snapshot = self.snapshot()
+        return {
+            "method": snapshot.method,
+            "dataset": snapshot.dataset,
+            "num_nodes": snapshot.num_nodes,
+            "seen_classes": [int(c) for c in snapshot.seen_classes],
+            "model_version": snapshot.version,
+        }

@@ -135,3 +135,114 @@ class TestEmbeddingCache:
                                   self.encoder.embed(self.graph))
         with pytest.raises(ValueError):
             stored[0, 0] = 1.0
+
+    def test_store_does_not_freeze_callers_array(self):
+        """Regression: store froze a caller-owned ndarray in place."""
+        mine = self.encoder.embed(self.graph)
+        stored = self.cache.store(self.encoder, self.graph, mine)
+        assert mine.flags.writeable
+        mine[0, 0] = 42.0  # caller keeps full ownership
+        assert not stored.flags.writeable
+        assert stored[0, 0] != 42.0  # the cache holds its own copy
+
+    def test_store_copy_false_hands_over_ownership(self):
+        owned = self.encoder.embed(self.graph)
+        stored = self.cache.store(self.encoder, self.graph, owned, copy=False)
+        assert stored is owned  # no copy on the handover path
+        assert not owned.flags.writeable
+
+    def test_store_read_only_input_not_copied(self):
+        frozen = self.encoder.embed(self.graph)
+        frozen.setflags(write=False)
+        assert self.cache.store(self.encoder, self.graph, frozen) is frozen
+
+    def test_invalidate_resets_graph_version(self):
+        """Regression: invalidate() left the graph version key stale."""
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.cache.invalidate()
+        # Re-storing after an invalidate must key on the *current* graph
+        # version, so a store/lookup cycle works at any version.
+        self.graph.invalidate_caches()
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        assert self.cache.lookup(self.encoder, self.graph) is not None
+
+    def test_stats_snapshot(self):
+        self.cache.lookup(self.encoder, self.graph)
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.cache.lookup(self.encoder, self.graph)
+        stats = self.cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+
+
+class TestParamVersionHashStability:
+    def test_hash_stable_after_module_is_collected(self):
+        """Regression: the hash flipped to hash(id(None)) after gc."""
+        module = Linear(3, 2)
+        version = ParamVersion(module)
+        table = {version: "entry"}
+        before = hash(version)
+        del module
+        import gc
+
+        gc.collect()
+        assert version.module is None  # the referent really is gone
+        assert hash(version) == before
+        assert table[version] == "entry"
+
+    def test_dead_versions_of_different_modules_hash_apart(self):
+        a, b = Linear(2, 2), Linear(2, 2)
+        va, vb = ParamVersion(a), ParamVersion(b)
+        del a, b
+        import gc
+
+        gc.collect()
+        # Distinct construction-time identities are preserved.
+        assert {va: 1, vb: 2} == {va: 1, vb: 2}
+        assert va != vb
+
+
+class TestEmbeddingCacheConcurrency:
+    def test_concurrent_readers_and_writer(self):
+        """Hammer lookup/store/invalidate from many threads: no torn state."""
+        import threading
+
+        graph = tiny_graph()
+        encoder = GCNEncoder(6, hidden_dim=5, out_dim=4, dropout=0.0,
+                             rng=np.random.default_rng(3))
+        cache = EmbeddingCache()
+        embeddings = encoder.embed(graph)
+        cache.store(encoder, graph, embeddings)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    value = cache.lookup(encoder, graph)
+                    if value is not None:
+                        # A hit is always a complete, frozen entry.
+                        assert not value.flags.writeable
+                        assert value.shape == embeddings.shape
+            except BaseException as exc:
+                errors.append(exc)
+
+        def writer():
+            try:
+                for _ in range(200):
+                    cache.invalidate()
+                    cache.store(encoder, graph, embeddings)
+            except BaseException as exc:
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors, errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == cache.hits + cache.misses

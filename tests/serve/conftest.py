@@ -1,0 +1,31 @@
+"""Fixtures for the serving-layer tests: one tiny trained checkpoint.
+
+Training is the expensive part, so the fitted classifier and its checkpoint
+are session-scoped; tests that need isolation load fresh classifiers from
+the shared checkpoint (cheap) instead of retraining.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import OpenWorldClassifier
+from repro.core.config import fast_config
+
+TINY = {"scale": 0.15, "seed": 0}
+
+
+@pytest.fixture(scope="session")
+def served_checkpoint(tmp_path_factory):
+    """Directory with a 2-epoch OpenIMA checkpoint on tiny citeseer."""
+    clf = OpenWorldClassifier("openima", config=fast_config(max_epochs=2, seed=0))
+    clf.fit("citeseer", **TINY)
+    path = tmp_path_factory.mktemp("serve") / "ckpt"
+    clf.save(path)
+    return path
+
+
+@pytest.fixture()
+def served_classifier(served_checkpoint):
+    """A fresh classifier loaded from the shared checkpoint."""
+    return OpenWorldClassifier.load(served_checkpoint)

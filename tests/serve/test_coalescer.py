@@ -1,0 +1,139 @@
+"""RequestCoalescer: batching semantics, ordering, errors, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import RequestCoalescer
+
+
+def echo_batch(nodes):
+    """A deterministic stand-in for the prediction service."""
+    return [{"node": n, "value": n * 10} for n in nodes]
+
+
+@pytest.fixture()
+def coalescer():
+    # A generous window so a burst reliably coalesces even on a loaded CI box.
+    c = RequestCoalescer(echo_batch, batch_window_ms=50.0).start()
+    yield c
+    c.stop()
+
+
+class TestBatching:
+    def test_single_request_round_trip(self, coalescer):
+        assert coalescer.predict([4, 2]) == echo_batch([4, 2])
+
+    def test_concurrent_requests_share_a_batch(self, coalescer):
+        start = threading.Barrier(8)
+        results = {}
+
+        def worker(i):
+            start.wait()
+            results[i] = coalescer.predict([i])
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: echo_batch([i]) for i in range(8)}
+        stats = coalescer.stats()
+        assert stats["requests"] == 8
+        # The 10ms window must have merged at least some of the burst.
+        assert stats["batches"] < 8
+        assert stats["coalesced_requests"] > 0
+
+    def test_results_split_back_per_request(self, coalescer):
+        futures = [coalescer.submit([i, i + 100]) for i in range(5)]
+        for i, future in enumerate(futures):
+            assert future.result(timeout=5) == echo_batch([i, i + 100])
+
+    def test_max_batch_respected(self):
+        sizes = []
+
+        def recording_batch(nodes):
+            sizes.append(len(nodes))
+            return echo_batch(nodes)
+
+        c = RequestCoalescer(recording_batch, batch_window_ms=20.0, max_batch=3)
+        try:
+            futures = [c.submit([i]) for i in range(7)]
+            c.start()
+            for f in futures:
+                f.result(timeout=5)
+            assert all(size <= 3 for size in sizes)
+        finally:
+            c.stop()
+
+    def test_oversized_request_still_served(self):
+        c = RequestCoalescer(echo_batch, batch_window_ms=0.0, max_batch=2).start()
+        try:
+            assert c.predict([1, 2, 3, 4, 5]) == echo_batch([1, 2, 3, 4, 5])
+        finally:
+            c.stop()
+
+
+class TestFailureAndShutdown:
+    def test_batch_error_propagates_to_each_request(self):
+        def failing_batch(nodes):
+            raise IndexError("node out of range")
+
+        c = RequestCoalescer(failing_batch, batch_window_ms=5.0).start()
+        try:
+            futures = [c.submit([i]) for i in range(3)]
+            for future in futures:
+                with pytest.raises(IndexError):
+                    future.result(timeout=5)
+        finally:
+            c.stop()
+
+    def test_error_does_not_kill_worker(self):
+        calls = {"n": 0}
+
+        def flaky_batch(nodes):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first batch fails")
+            return echo_batch(nodes)
+
+        c = RequestCoalescer(flaky_batch, batch_window_ms=0.0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                c.predict([1])
+            assert c.predict([2]) == echo_batch([2])
+        finally:
+            c.stop()
+
+    def test_stop_drains_pending_requests(self):
+        release = threading.Event()
+
+        def slow_batch(nodes):
+            release.wait(timeout=5)
+            return echo_batch(nodes)
+
+        c = RequestCoalescer(slow_batch, batch_window_ms=0.0).start()
+        first = c.submit([1])
+        time.sleep(0.05)  # let the worker pick up the first batch
+        second = c.submit([2])
+        release.set()
+        c.stop()
+        assert first.result(timeout=5) == echo_batch([1])
+        assert second.result(timeout=5) == echo_batch([2])
+
+    def test_submit_after_stop_rejected(self):
+        c = RequestCoalescer(echo_batch).start()
+        c.stop()
+        with pytest.raises(RuntimeError):
+            c.submit([1])
+
+    def test_result_length_mismatch_is_an_error(self):
+        c = RequestCoalescer(lambda nodes: [], batch_window_ms=0.0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                c.predict([1, 2])
+        finally:
+            c.stop()

@@ -1,0 +1,139 @@
+"""ModelServer over real sockets: round-trips, parity, graceful shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import OpenWorldClassifier
+from repro.serve import (
+    ModelServer,
+    PredictionService,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
+
+
+@pytest.fixture()
+def running_server(served_classifier):
+    server = ModelServer(
+        PredictionService(served_classifier),
+        ServeConfig(port=0, batch_window_ms=1.0),
+    )
+    server.serve_in_background()
+    client = ServeClient(port=server.port)
+    client.wait_until_ready(timeout=10)
+    yield server, client
+    client.close()
+    server.shutdown()
+
+
+class TestHTTPEndpoints:
+    def test_health(self, running_server):
+        _, client = running_server
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["method"] == "openima"
+        assert health["num_nodes"] > 0
+
+    def test_single_node_predict(self, running_server, served_checkpoint):
+        _, client = running_server
+        reference = OpenWorldClassifier.load(served_checkpoint).predict()
+        for node in (0, 5, 60):
+            payload = client.predict(node)
+            assert payload["node"] == node
+            assert payload["prediction"] == int(reference[node])
+
+    def test_batch_matches_singles_bitwise(self, running_server):
+        _, client = running_server
+        nodes = [9, 0, 33, 9]
+        assert client.predict_batch(nodes) == [client.predict(n) for n in nodes]
+
+    def test_stats_counters_move(self, running_server):
+        _, client = running_server
+        client.predict_batch([0, 1, 2])
+        client.predict(3)
+        stats = client.stats()
+        assert stats["latency"]["requests"] >= 2
+        assert stats["latency"]["p50_ms"] is not None
+        assert stats["latency"]["p99_ms"] is not None
+        assert stats["coalescer"]["requests"] >= 2
+        assert stats["service"]["snapshot_builds"] == 1
+
+    def test_bad_requests_rejected(self, running_server):
+        server, client = running_server
+        num_nodes = server.service.snapshot().num_nodes
+        with pytest.raises(ServeClientError) as exc:
+            client.predict(num_nodes + 5)
+        assert exc.value.status == 400
+        with pytest.raises(ServeClientError):
+            client.predict_batch([])
+        with pytest.raises(ServeClientError):
+            client._request("POST", "/predict", {"wrong": 1})
+        with pytest.raises(ServeClientError) as exc:
+            client._request("GET", "/nope")
+        assert exc.value.status == 404
+
+    def test_concurrent_clients_get_identical_answers(self, running_server):
+        server, client = running_server
+        nodes = list(range(20))
+        expected = client.predict_batch(nodes)
+        results = {}
+
+        def worker(i):
+            with ServeClient(port=server.port) as local:
+                results[i] = local.predict_batch(nodes)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(results[i] == expected for i in results)
+
+
+class TestLifecycle:
+    def test_graceful_shutdown_releases_port(self, served_classifier):
+        server = ModelServer(PredictionService(served_classifier),
+                             ServeConfig(port=0, batch_window_ms=0.0))
+        thread = server.serve_in_background()
+        port = server.port
+        client = ServeClient(port=port)
+        client.wait_until_ready(timeout=10)
+        server.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        # The port is released: a second server can bind the same one.
+        relisten = ModelServer(
+            PredictionService(served_classifier),
+            ServeConfig(port=port, batch_window_ms=0.0, warm=False),
+        )
+        relisten.start()
+        relisten_thread = relisten.serve_in_background()
+        fresh = ServeClient(port=port)
+        assert fresh.wait_until_ready(timeout=10)["status"] == "ok"
+        fresh.close()
+        relisten.shutdown()
+        relisten_thread.join(timeout=10)
+
+    def test_shutdown_is_idempotent(self, served_classifier):
+        server = ModelServer(PredictionService(served_classifier),
+                             ServeConfig(port=0))
+        thread = server.serve_in_background()
+        server.shutdown()
+        server.shutdown()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_warm_start_builds_snapshot_before_traffic(self, served_classifier):
+        service = PredictionService(served_classifier)
+        server = ModelServer(service, ServeConfig(port=0, warm=True))
+        server.start()
+        try:
+            assert service.snapshot_builds == 1
+        finally:
+            thread = server.serve_in_background()
+            server.shutdown()
+            thread.join(timeout=10)
