@@ -86,12 +86,16 @@ class ClusteringOutcome:
     version_delta:
         Parameter-version drift since the engine's last full fit (``None``
         when no version was supplied or no fit has happened yet).
+    births:
+        Ids of clusters born during this refresh (``config.birth_threshold``;
+        empty for every non-birthing refresh).
     """
 
     result: KMeansResult
     strategy: str
     refitted: bool
     version_delta: Optional[int] = None
+    births: Tuple[int, ...] = ()
 
 
 class ClusteringEngine:
@@ -131,6 +135,8 @@ class ClusteringEngine:
         #: Total refresh() calls / refresh() calls that ran a full fit.
         self.refresh_count = 0
         self.refit_count = 0
+        #: Clusters born via the silhouette trigger (birth_threshold).
+        self.birth_count = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -157,16 +163,30 @@ class ClusteringEngine:
     # Stateful refresh (training loop)
     # ------------------------------------------------------------------
     def refresh(self, embeddings: np.ndarray, num_clusters: int,
-                parameter_version: Optional[int] = None) -> ClusteringOutcome:
+                parameter_version: Optional[int] = None,
+                allow_birth: bool = False) -> ClusteringOutcome:
         """Cluster ``embeddings`` for a pseudo-label refresh.
 
         ``parameter_version`` is the encoder's
         :meth:`~repro.nn.layers.Module.parameter_version` counter; together
         with ``config.refresh_tolerance`` it decides whether a carried
         clustering is still fresh enough to skip the re-fit.
+
+        ``allow_birth`` opts this call into the streaming cluster-birth
+        check (``config.birth_threshold``) and makes ``num_clusters`` a
+        *floor* rather than an exact count.  The training loop never sets
+        it: pseudo-label generation aligns exactly ``num_clusters`` cluster
+        ids, so a mid-training birth would hand it an id it cannot map.
         """
         data = np.asarray(embeddings, dtype=np.float64)
         num_clusters = int(num_clusters)
+        allow_birth = allow_birth and self.config.birth_threshold is not None
+        if (allow_birth
+                and self._num_clusters is not None
+                and self._num_clusters > num_clusters):
+            # Births persist: once the engine has grown past the requested
+            # cluster count, the request is a floor, not a reset.
+            num_clusters = self._num_clusters
         state_valid = (
             self.carries_state
             and self._centers is not None
@@ -189,16 +209,20 @@ class ClusteringEngine:
         counts = self._counts if state_valid else None
         result, counts = self._fit(data, num_clusters, initial_centers=initial,
                                    counts=counts, rng=self.rng)
+        births: Tuple[int, ...] = ()
+        if allow_birth:
+            result, counts, births = self._maybe_birth(data, result, counts)
         if self.carries_state:
             self._centers = result.centers.copy()
             self._counts = counts
-            self._num_clusters = num_clusters
+            self._num_clusters = result.centers.shape[0]
         if parameter_version is not None:
             self._last_fit_version = int(parameter_version)
         self.refresh_count += 1
         self.refit_count += 1
         return ClusteringOutcome(result, self.config.strategy,
-                                 refitted=True, version_delta=version_delta)
+                                 refitted=True, version_delta=version_delta,
+                                 births=births)
 
     # ------------------------------------------------------------------
     # Stateless clustering (inference)
@@ -333,6 +357,55 @@ class ClusteringEngine:
             _sculley_update(centers, counts, block, assignments, num_clusters)
         return self._reassign(data, centers), counts
 
+    # ------------------------------------------------------------------
+    # Cluster birth (streaming open-world)
+    # ------------------------------------------------------------------
+    def _maybe_birth(self, data: np.ndarray, result: KMeansResult,
+                     counts: Optional[np.ndarray]) -> Tuple[KMeansResult, Optional[np.ndarray], Tuple[int, ...]]:
+        """Split the worst cluster when its silhouette degrades past the
+        threshold (at most one birth per refresh).
+
+        The silhouette is computed on a deterministic ``birth_sample_size``
+        subsample (seeded from the persistent RNG, so the trigger
+        checkpoints with the engine).  A degraded cluster is split with a
+        seeded 2-means over its members; the worst cluster's centroid is
+        replaced by one half and the other half becomes a new cluster id,
+        the online running counts are divided by member share, and a full
+        reassignment republishes every label.
+        """
+        from .metrics import per_cluster_silhouette
+
+        num_clusters = result.centers.shape[0]
+        if (self.config.max_clusters is not None
+                and num_clusters >= int(self.config.max_clusters)):
+            return result, counts, ()
+        sizes = np.bincount(result.labels, minlength=num_clusters)
+        scores = per_cluster_silhouette(
+            data, result.labels,
+            sample_size=int(self.config.birth_sample_size),
+            seed=int(self.rng.integers(np.iinfo(np.int64).max)),
+        )
+        eligible = [(score, cluster) for cluster, score in sorted(scores.items())
+                    if sizes[cluster] >= int(self.config.birth_min_size)]
+        if not eligible:
+            return result, counts, ()
+        worst_score, worst = min(eligible)
+        if worst_score >= float(self.config.birth_threshold):
+            return result, counts, ()
+
+        members = data[result.labels == worst]
+        sample = self._sample_rows(members, 2, self.rng)
+        split_seed = int(self.rng.integers(np.iinfo(np.int64).max))
+        split = KMeans(2, seed=split_seed, n_init=3, max_iter=20).fit(sample)
+        centers = np.vstack([result.centers, split.centers[1]])
+        centers[worst] = split.centers[0]
+        if counts is not None:
+            share = float((split.labels == 1).mean())
+            counts = np.concatenate([counts, [counts[worst] * share]])
+            counts[worst] *= 1.0 - share
+        self.birth_count += 1
+        return self._reassign(data, centers), counts, (int(num_clusters),)
+
     def _reassign(self, data: np.ndarray, centers: np.ndarray) -> KMeansResult:
         """Full chunked nearest-center assignment against fixed centroids."""
         labels, min_sq = _assign_labels(data, centers,
@@ -356,6 +429,7 @@ class ClusteringEngine:
             "rng": self.rng.bit_generator.state,
             "refresh_count": int(self.refresh_count),
             "refit_count": int(self.refit_count),
+            "birth_count": int(self.birth_count),
             "num_clusters": (None if self._num_clusters is None
                              else int(self._num_clusters)),
             "version_behind": (
@@ -379,6 +453,7 @@ class ClusteringEngine:
             self.rng.bit_generator.state = rng_state
         self.refresh_count = int(meta.get("refresh_count", 0))
         self.refit_count = int(meta.get("refit_count", 0))
+        self.birth_count = int(meta.get("birth_count", 0))
         num_clusters = meta.get("num_clusters")
         self._num_clusters = None if num_clusters is None else int(num_clusters)
         self._centers = (np.asarray(arrays["centers"], dtype=np.float64).copy()

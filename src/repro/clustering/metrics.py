@@ -57,23 +57,59 @@ def silhouette_samples(data: np.ndarray, labels: np.ndarray) -> np.ndarray:
     return scores
 
 
+def _subsample(data: np.ndarray, labels: np.ndarray, sample_size: int | None,
+               seed: int) -> tuple:
+    """Deterministic row subsample shared by the aggregate silhouette scores."""
+    if sample_size is not None and data.shape[0] > sample_size:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(data.shape[0], size=sample_size, replace=False)
+        return data[idx], labels[idx]
+    return data, labels
+
+
 def silhouette_score(data: np.ndarray, labels: np.ndarray, sample_size: int | None = 2000,
                      seed: int = 0) -> float:
     """Mean silhouette coefficient, optionally computed on a random subsample.
 
     The O(n^2) distance matrix makes the exact score expensive on large
     graphs; the paper's own large-graph runs would face the same issue, so we
-    subsample (deterministically) above ``sample_size`` points.
+    subsample (deterministically) above ``sample_size`` points; pass
+    ``sample_size=None`` for the exact score.
+
+    Degenerate labelings follow the same never-raise conventions as NMI/ARI
+    above: fewer than two clusters (before *or* after subsampling), a single
+    sample, or an empty input score a neutral 0.0 — separation is simply
+    undefined there, and streaming callers hit these cases routinely (e.g.
+    a newborn cluster owning every sampled row).
     """
     data = np.asarray(data, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.int64)
-    if sample_size is not None and data.shape[0] > sample_size:
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(data.shape[0], size=sample_size, replace=False)
-        data, labels = data[idx], labels[idx]
-        if np.unique(labels).shape[0] < 2:
-            return 0.0
+    data, labels = _subsample(data, labels, sample_size, seed)
+    if data.shape[0] <= 1 or np.unique(labels).shape[0] < 2:
+        return 0.0
     return float(silhouette_samples(data, labels).mean())
+
+
+def per_cluster_silhouette(data: np.ndarray, labels: np.ndarray,
+                           sample_size: int | None = 2000,
+                           seed: int = 0) -> dict:
+    """Mean silhouette of each cluster's members, ``{cluster_id: score}``.
+
+    The cluster-birth signal of the streaming protocol: a cluster whose
+    members sit closer to a neighboring centroid's members than to each
+    other (score near or below zero) is covering more than one latent class.
+    Subsampling matches :func:`silhouette_score`; clusters that lose all
+    members to the subsample are absent from the result, and degenerate
+    labelings (fewer than two clusters in the sample) return ``{}``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    data, labels = _subsample(data, labels, sample_size, seed)
+    unique = np.unique(labels)
+    if data.shape[0] <= 1 or unique.shape[0] < 2:
+        return {}
+    samples = silhouette_samples(data, labels)
+    return {int(c): float(samples[labels == c].mean()) for c in unique}
 
 
 def _contingency_counts(labels_a: np.ndarray, labels_b: np.ndarray) -> tuple:

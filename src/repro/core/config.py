@@ -189,6 +189,23 @@ class ClusteringConfig(SerializableConfig):
         Optional dedicated seed for the clustering RNG; ``None`` (default)
         uses the trainer's seed, which keeps ``exact`` refreshes identical
         to the pre-engine behavior.
+    birth_threshold:
+        Cluster-birth trigger for the streaming protocol (``online``
+        strategy only).  After each warm refresh the engine samples
+        ``birth_sample_size`` rows, computes the per-cluster mean
+        silhouette, and splits the worst cluster in two when its score
+        falls below this threshold (one birth per refresh) — how the model
+        admits a class it has never seen.  ``None`` (default) disables
+        birth, keeping the online strategy's historical behavior.
+    birth_sample_size:
+        Rows sampled for the silhouette birth signal (O(sample^2) cost per
+        refresh, so keep it modest).
+    birth_min_size:
+        Minimum member count before a cluster is eligible for splitting;
+        keeps noise-dominated tiny clusters from fissioning.
+    max_clusters:
+        Hard cap on the cluster count after births; ``None`` means
+        unbounded.
     """
 
     strategy: str = "exact"
@@ -197,6 +214,10 @@ class ClusteringConfig(SerializableConfig):
     warm_start: bool = False
     refresh_tolerance: int = 0
     seed: Optional[int] = None
+    birth_threshold: Optional[float] = None
+    birth_sample_size: int = 1024
+    birth_min_size: int = 16
+    max_clusters: Optional[int] = None
 
     def __post_init__(self):
         if self.strategy not in CLUSTERING_STRATEGIES:
@@ -224,6 +245,28 @@ class ClusteringConfig(SerializableConfig):
                 "refresh_tolerance=0 — without carried centroids the "
                 "tolerance would be silently ignored"
             )
+        if self.birth_threshold is not None:
+            if self.strategy != "online":
+                raise ValueError(
+                    "clustering birth_threshold extends the online strategy's "
+                    f"warm refresh; it is not supported with strategy="
+                    f"{self.strategy!r}"
+                )
+            if not -1.0 <= float(self.birth_threshold) <= 1.0:
+                raise ValueError(
+                    f"clustering birth_threshold must be a silhouette value in "
+                    f"[-1, 1], got {self.birth_threshold}")
+        if int(self.birth_sample_size) < 2:
+            raise ValueError(
+                f"clustering birth_sample_size must be >= 2, "
+                f"got {self.birth_sample_size}")
+        if int(self.birth_min_size) < 2:
+            raise ValueError(
+                f"clustering birth_min_size must be >= 2, "
+                f"got {self.birth_min_size}")
+        if self.max_clusters is not None and int(self.max_clusters) < 1:
+            raise ValueError(
+                f"clustering max_clusters must be >= 1, got {self.max_clusters}")
 
 
 #: Valid ``InferenceConfig.mode`` values.
@@ -251,12 +294,23 @@ class InferenceConfig(SerializableConfig):
         impossible).
     auto_threshold:
         Node count at which ``mode="auto"`` switches to layerwise.
+    partial_refresh:
+        Allow ``InferenceEngine.refresh_after_delta`` to serve a graph delta
+        by recomputing only the affected receptive field and patching the
+        cached array (requires ``cache``); disabling it forces every delta
+        to a full recompute.
+    partial_threshold:
+        Affected-set fraction above which a delta falls back to a full
+        recompute — once most of the graph is affected, one monolithic pass
+        beats subgraph extraction plus patching.
     """
 
     mode: str = "auto"
     chunk_size: int = 4096
     cache: bool = True
     auto_threshold: int = 32768
+    partial_refresh: bool = True
+    partial_threshold: float = 0.5
 
     def __post_init__(self):
         if self.mode not in INFERENCE_MODES:
@@ -269,6 +323,10 @@ class InferenceConfig(SerializableConfig):
             raise ValueError(
                 f"inference auto_threshold must be >= 0, got {self.auto_threshold}"
             )
+        if not 0.0 < float(self.partial_threshold) <= 1.0:
+            raise ValueError(
+                f"inference partial_threshold must be in (0, 1], "
+                f"got {self.partial_threshold}")
 
 
 @dataclass(frozen=True)

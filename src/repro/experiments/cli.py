@@ -27,6 +27,14 @@ down gracefully)::
     python -m repro.experiments.cli serve runs/openima-citeseer \
         --port 8741 --batch-window-ms 2 --set inference.mode=layerwise
 
+Replay a dataset as a prequential open-world stream — the base model trains
+on a subgraph, the rest (including a withheld novel class) arrives as graph
+deltas with incremental embedding refresh and silhouette-triggered cluster
+birth::
+
+    python -m repro.experiments.cli stream --dataset citeseer --steps 6 \
+        --reveal-fraction 0.3 --birth-threshold 0.2
+
 Discover what is available::
 
     python -m repro.experiments.cli list-methods
@@ -214,6 +222,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optional path for a JSON copy of the final "
                             "serving stats")
     serve.set_defaults(handler=_handle_serve)
+
+    # -- streaming -----------------------------------------------------
+    stream = subparsers.add_parser(
+        "stream", help="replay a dataset as a prequential open-world stream "
+                       "(dynamic graph deltas, incremental inference, "
+                       "cluster birth)")
+    stream.add_argument("--method", default="openima",
+                        help="registered method name (default: openima)")
+    stream.add_argument("--dataset", required=True,
+                        help="registered dataset name (see list-datasets)")
+    _add_training_options(stream)
+    stream.add_argument("--seed", type=int, default=0,
+                        help="graph/split/stream seed (default: 0)")
+    stream.add_argument("--steps", type=int, default=6,
+                        help="number of arrival batches (default: 6)")
+    stream.add_argument("--base-fraction", type=float, default=0.6,
+                        help="fraction of streamable nodes kept in the base "
+                             "graph (default: 0.6)")
+    stream.add_argument("--entry-step", type=int, default=None,
+                        help="first step the withheld class may arrive "
+                             "(default: steps // 3)")
+    stream.add_argument("--reveal-fraction", type=float, default=0.3,
+                        help="fraction of seen-class arrivals whose label is "
+                             "revealed after scoring (default: 0.3)")
+    stream.add_argument("--birth-threshold", type=float, default=0.2,
+                        help="per-cluster silhouette below which a new "
+                             "cluster is born; -1 disables (default: 0.2)")
+    stream.add_argument("--max-clusters", type=int, default=None,
+                        help="hard cap on cluster count growth (default: "
+                             "classes + 2)")
+    stream.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                        dest="overrides",
+                        help="config override (dotted keys, repeatable), e.g. "
+                             "--set trainer.inference.partial_threshold=0.3")
+    stream.set_defaults(handler=_handle_stream)
 
     # -- listings ------------------------------------------------------
     list_methods = subparsers.add_parser(
@@ -487,6 +530,111 @@ def _handle_serve(args: argparse.Namespace) -> dict:
         "dataset": classifier.dataset_.name,
         "address": [host, port],
         "stats": stats,
+    }
+
+
+def _handle_stream(args: argparse.Namespace) -> dict:
+    from ..api import OpenWorldClassifier
+    from ..core.config import (
+        ClusteringConfig,
+        OpenIMAConfig,
+        SamplingConfig,
+        fast_config,
+    )
+    from ..datasets.synthetic import load_open_world_dataset
+    from ..streaming import StreamRunner, make_stream_scenario
+
+    spec = get_method(args.method)
+    dataset = load_open_world_dataset(args.dataset, seed=args.seed,
+                                      scale=args.scale)
+    scenario = make_stream_scenario(
+        dataset,
+        num_steps=args.steps,
+        base_fraction=args.base_fraction,
+        entry_step=args.entry_step,
+        reveal_fraction=args.reveal_fraction,
+        seed=args.seed,
+    )
+
+    birth = None if args.birth_threshold <= -1 else float(args.birth_threshold)
+    max_clusters = args.max_clusters
+    if max_clusters is None:
+        # Default cap: room for every real class plus a couple of births.
+        max_clusters = (scenario.base.split.seen_classes.shape[0]
+                        + scenario.base.split.novel_classes.shape[0]
+                        + scenario.withheld_classes.shape[0] + 2)
+    clustering = ClusteringConfig(
+        strategy="online",
+        birth_threshold=birth,
+        max_clusters=int(max_clusters),
+    )
+    trainer_config = fast_config(
+        max_epochs=args.epochs, seed=args.seed,
+        encoder_kind=args.encoder, batch_size=args.batch_size,
+        backend=args.backend, eval_every=args.eval_every,
+        sampling=SamplingConfig(mode=args.sampling_mode),
+        clustering=clustering,
+    )
+    overrides = parse_set_overrides(args.overrides)
+    if spec.config_cls is OpenIMAConfig:
+        config_dict = OpenIMAConfig(trainer=trainer_config).to_dict()
+        config_part, method_params = overrides, {}
+    else:
+        config_dict = trainer_config.to_dict()
+        config_part, method_params = _split_config_overrides(spec.config_cls, overrides)
+    config = spec.config_cls.from_dict(_deep_merge(config_dict, config_part))
+
+    classifier = OpenWorldClassifier(args.method, config=config,
+                                     method_params=method_params)
+    classifier.fit(scenario.base)
+    runner = StreamRunner(classifier, scenario)
+    result = runner.run()
+    summary = result.summary()
+
+    lines = [
+        f"method:    {spec.display_name} ({classifier.method})",
+        f"scenario:  {scenario.name}  "
+        f"({scenario.base.graph.num_nodes} base nodes -> "
+        f"{scenario.total_nodes} total, {scenario.num_steps} steps, "
+        f"withheld classes {[int(c) for c in scenario.withheld_classes]})",
+        "",
+        f"{'step':>4}  {'arrive':>6}  {'affected':>8}  {'refresh':>9}  "
+        f"{'k':>3}  {'birth':>5}  {'overall':>7}  {'seen':>6}  {'novel':>6}",
+    ]
+    for record in result.records:
+        accuracy = record.accuracy
+        lines.append(
+            f"{record.step:>4}  {record.num_arrivals:>6}  "
+            f"{record.affected_fraction:>8.1%}  "
+            f"{record.refresh_seconds * 1e3:>7.1f}ms"
+            f"{'*' if record.partial else ' '} "
+            f"{record.num_clusters:>3}  "
+            f"{('+' + str(len(record.births))) if record.births else '-':>5}  "
+            f"{accuracy['overall']:>7.3f}  {accuracy['seen']:>6.3f}  "
+            f"{accuracy['novel']:>6.3f}"
+        )
+    lines += [
+        "",
+        f"prequential: overall={summary['prequential']['overall']:.4f}  "
+        f"seen={summary['prequential']['seen']:.4f}  "
+        f"novel={summary['prequential']['novel']:.4f}",
+        f"clusters:    {summary['num_clusters_start']} -> "
+        f"{summary['num_clusters_end']}"
+        + (f"  (first birth at step {summary['first_birth_step']}, "
+           f"detection delay {summary['detection_delay']})"
+           if summary["first_birth_step"] is not None else "  (no births)"),
+        f"refresh:     {summary['partial_refresh_steps']} partial / "
+        f"{summary['full_refresh_steps']} full  "
+        f"(* = partial; mean {summary['mean_refresh_seconds'] * 1e3:.1f} ms, "
+        f"mean affected {summary['mean_affected_fraction']:.1%})",
+    ]
+    return {
+        "report": "\n".join(lines),
+        "method": classifier.method,
+        "dataset": args.dataset,
+        "scenario": scenario.describe(),
+        "summary": summary,
+        "steps": [record.as_dict() for record in result.records],
     }
 
 

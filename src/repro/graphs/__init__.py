@@ -6,6 +6,7 @@ from .generators import (
     generate_sbm_graph,
     generate_two_gaussian_samples,
 )
+from .delta import GraphDelta
 from .graph import Graph
 from .sampling import (
     NeighborSampler,
@@ -25,6 +26,7 @@ from .utils import (
 
 __all__ = [
     "Graph",
+    "GraphDelta",
     "NeighborSampler",
     "SubgraphBatch",
     "build_edge_csr",

@@ -166,6 +166,33 @@ class Graph:
         indptr, indices = self.edge_csr()
         return indices[indptr[node]: indptr[node + 1]]
 
+    def apply_delta(self, delta) -> None:
+        """Append a :class:`~repro.graphs.delta.GraphDelta` in place.
+
+        New feature rows (and labels, when the graph is labeled) are
+        appended, the delta's edges are concatenated onto ``edge_index``,
+        and :meth:`invalidate_caches` is called so every derived structure —
+        including the CSR neighbor cache behind :meth:`neighbors` — is
+        rebuilt from the mutated fields and :attr:`cache_version` moves.
+        Arriving nodes without a delta label get ``-1`` (unknown).
+
+        This is the raw mutation primitive; incremental consumers that need
+        the k-hop-affected node set should apply deltas through
+        :class:`repro.streaming.DynamicGraph` instead.
+        """
+        delta.validate_for(self)
+        if delta.num_new_nodes:
+            self.features = np.vstack([self.features, delta.add_features])
+            if self.labels is not None:
+                new_labels = (delta.add_labels if delta.add_labels is not None
+                              else -np.ones(delta.num_new_nodes, dtype=np.int64))
+                self.labels = np.concatenate([self.labels, new_labels])
+        if delta.num_new_edges:
+            self.edge_index = np.hstack([self.edge_index, delta.add_edges])
+        # Always bump the version, even for an empty delta: callers use the
+        # bump as the "a delta was applied here" signal.
+        self.invalidate_caches()
+
     def copy(self) -> "Graph":
         """Deep copy of the graph (caches are not copied)."""
         return Graph(

@@ -144,6 +144,27 @@ class EmbeddingCache:
             self._entry = entry
         return embeddings
 
+    def stale_entry(self, encoder: Module, graph: Graph) -> Optional[Tuple[np.ndarray, int]]:
+        """The entry for this encoder/graph pair *ignoring the graph version*.
+
+        The partial-refresh path (``InferenceEngine.refresh_after_delta``)
+        needs the embeddings computed for the *previous* graph version as its
+        patch base: same live encoder at the same parameter version, same
+        graph identity, but a ``cache_version`` that has since moved.
+        Returns ``(embeddings, cached_graph_version)`` or ``None``; does not
+        count as a hit or miss (it is bookkeeping, not a serving lookup).
+        """
+        with self._lock:
+            entry = self._entry
+            if (
+                entry is not None
+                and entry[1]() is graph
+                and entry[0].is_current()
+                and entry[0].module is encoder
+            ):
+                return entry[3], entry[2]
+            return None
+
     def invalidate(self) -> None:
         """Drop the cached entry (the hit/miss counters are kept)."""
         with self._lock:

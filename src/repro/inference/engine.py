@@ -28,6 +28,7 @@ from .layerwise import LayerwiseInference
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import InferenceConfig
+    from ..streaming.dynamic import DeltaReport
 
 
 class InferenceEngine:
@@ -47,6 +48,10 @@ class InferenceEngine:
         self._layerwise = LayerwiseInference(chunk_size=self.config.chunk_size)
         #: Number of embedding passes actually computed (cache hits excluded).
         self.forward_count = 0
+        #: Deltas served by patching the cached array (no full pass).
+        self.partial_refresh_count = 0
+        #: Deltas that fell back to a full recompute (threshold/stale base).
+        self.full_refresh_count = 0
 
     # ------------------------------------------------------------------
     # Policy
@@ -87,6 +92,77 @@ class InferenceEngine:
         return encoder.embed(graph)
 
     # ------------------------------------------------------------------
+    # Incremental refresh (streaming deltas)
+    # ------------------------------------------------------------------
+    def refresh_after_delta(self, encoder: Module, graph: Graph,
+                            report: "DeltaReport") -> np.ndarray:
+        """Embeddings for ``graph`` after the delta described by ``report``.
+
+        When the cache still holds the pre-delta embeddings, only the
+        delta's affected receptive field is recomputed: the report's
+        pre-extracted subgraph batch (or a fresh ``khop_subgraph`` over the
+        affected set) is run through the encoder, the affected rows are
+        patched into a copy of the cached array, and the result is stored
+        under the graph's *new* ``cache_version``.  Unaffected rows are
+        bit-identical to a full recompute — their propagation rows and
+        receptive fields did not change — and the affected rows match to
+        float tolerance because the subgraph propagation is the sliced
+        full-graph matrix (see :mod:`repro.graphs.sampling`).
+
+        Readers are never broken mid-patch: the patch builds a fresh array
+        and publishes it with one atomic cache store, so a thread holding
+        the previous (frozen) array keeps a consistent pre-delta view.
+
+        Falls back to a full recompute when partial refresh is disabled,
+        no usable pre-delta entry exists, the encoder is deeper than the
+        report's ``num_hops`` bound, or the affected set exceeds
+        ``config.partial_threshold`` of the graph (at that size one full
+        pass is cheaper than subgraph extraction + patch).
+        """
+        depth = getattr(encoder, "num_message_passing_layers", None)
+        if depth is not None and depth > report.num_hops:
+            raise ValueError(
+                f"delta report covers {report.num_hops} hops but the encoder "
+                f"has {depth} message-passing layers; build the DynamicGraph "
+                f"with num_hops >= {depth}")
+        if self.cache is None or not self.config.partial_refresh:
+            return self.embeddings(encoder, graph)
+        if (graph.cache_version != report.new_cache_version
+                or graph.num_nodes != report.new_num_nodes):
+            # The graph moved again after this report was taken; the report's
+            # affected set no longer bounds the difference.
+            self.full_refresh_count += 1
+            return self.embeddings(encoder, graph)
+        stale = self.cache.stale_entry(encoder, graph)
+        if (stale is None
+                or stale[1] != report.old_cache_version
+                or stale[0].shape[0] != report.old_num_nodes):
+            self.full_refresh_count += 1
+            return self.embeddings(encoder, graph)
+        old_embeddings = stale[0]
+        if report.num_affected == 0:
+            # Topology-neutral delta (version bump only): re-key the cached
+            # array under the new graph version without recomputing.
+            self.partial_refresh_count += 1
+            return self.cache.store(encoder, graph, old_embeddings, copy=False)
+        if report.num_affected > self.config.partial_threshold * graph.num_nodes:
+            self.full_refresh_count += 1
+            return self.embeddings(encoder, graph)
+
+        batch = report.batch
+        if batch is None:
+            from ..graphs.sampling import khop_subgraph
+
+            batch = khop_subgraph(graph, report.affected, report.num_hops)
+        sub_embeddings = encoder.embed(batch.graph)
+        patched = np.empty((graph.num_nodes, sub_embeddings.shape[1]),
+                           dtype=sub_embeddings.dtype)
+        patched[:report.old_num_nodes] = old_embeddings
+        patched[batch.node_ids[batch.seed_local]] = sub_embeddings[batch.seed_local]
+        self.partial_refresh_count += 1
+        return self.cache.store(encoder, graph, patched, copy=False)
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -108,6 +184,8 @@ class InferenceEngine:
             "forwards": self.forward_count,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "partial_refreshes": self.partial_refresh_count,
+            "full_refreshes": self.full_refresh_count,
         }
 
     def __repr__(self) -> str:

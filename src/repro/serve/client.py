@@ -93,6 +93,26 @@ class ServeClient:
         body = {"nodes": [int(n) for n in nodes]}
         return self._request("POST", "/predict", body)["results"]
 
+    def apply_delta(self, features=None, edges=None, labels=None,
+                    undirected: bool = True) -> dict:
+        """Stream a graph delta into the server (new nodes and/or edges).
+
+        ``features`` is a list of new-node feature vectors, ``edges`` a
+        ``[sources, destinations]`` pair (new-node ids continue from the
+        server's current node count), ``labels`` the optional ground-truth
+        labels of the new nodes.  Returns the server's ingestion summary
+        (affected set size, new model version).
+        """
+        body: dict = {"undirected": bool(undirected)}
+        if features is not None:
+            body["features"] = [[float(v) for v in row] for row in features]
+        if edges is not None:
+            src, dst = edges
+            body["edges"] = [[int(u) for u in src], [int(w) for w in dst]]
+        if labels is not None:
+            body["labels"] = [int(v) for v in labels]
+        return self._request("POST", "/delta", body)
+
     def wait_until_ready(self, timeout: float = 30.0,
                          interval: float = 0.05) -> dict:
         """Poll ``/health`` until the server answers (startup handshake)."""

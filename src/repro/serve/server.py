@@ -11,6 +11,9 @@ tracks per-request latency.  Endpoints:
 * ``GET  /stats``   — latency percentiles, qps, cache hit rate, batch sizes
 * ``POST /predict`` — ``{"node": 3}`` or ``{"nodes": [3, 4, 5]}`` →
   per-node known-class logits, cluster assignment, and prediction
+* ``POST /delta``   — ``{"features": [[...]], "edges": [[u...], [w...]],
+  "labels": [...], "undirected": true}`` → ingest a graph delta and
+  republish the snapshot without a cold rebuild (partial embedding refresh)
 
 Shutdown is graceful: SIGINT/SIGTERM (or :meth:`ModelServer.shutdown`)
 stops accepting connections, drains the coalescer, and unblocks
@@ -74,6 +77,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/delta":
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                request = json.loads(self.rfile.read(length) or b"{}")
+                summary = self.model_server.apply_delta(request)
+            except (ValueError, TypeError, KeyError, IndexError) as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            self._reply(200, summary)
+            return
         if self.path != "/predict":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
@@ -217,6 +230,44 @@ class ModelServer:
         info = self.service.info()
         info["status"] = "ok"
         return info
+
+    def apply_delta(self, payload: dict) -> dict:
+        """Decode a JSON delta payload and ingest it through the service.
+
+        ``features`` is required (row-major list of new node feature
+        vectors; ``[]`` for an edges-only delta), ``edges`` is the optional
+        ``[sources, destinations]`` pair, ``labels`` the optional
+        ground-truth labels of the new nodes.  With ``undirected`` (the
+        default) the edges are symmetrized server-side, matching the
+        repository's both-directions storage convention.
+        """
+        # Imported lazily to keep the transport importable without numpy
+        # being touched at module import time in minimal tooling contexts.
+        import numpy as np
+
+        from ..graphs.delta import GraphDelta
+
+        if not isinstance(payload, dict):
+            raise ValueError("delta payload must be a JSON object")
+        unknown = set(payload) - {"features", "edges", "labels", "undirected"}
+        if unknown:
+            raise ValueError(f"unknown delta fields {sorted(unknown)}")
+        graph = self.service._trainer.dataset.graph
+        features = np.asarray(payload.get("features", []), dtype=np.float64)
+        if features.size == 0:
+            features = features.reshape(0, graph.features.shape[1])
+        edges = np.asarray(payload.get("edges", [[], []]), dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(2, 0)
+        labels = payload.get("labels")
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int64)
+        if payload.get("undirected", True):
+            delta = GraphDelta.undirected(features, edges, labels)
+        else:
+            delta = GraphDelta(add_features=features, add_edges=edges,
+                               add_labels=labels)
+        return self.service.apply_delta(delta)
 
     def stats(self) -> dict:
         return {

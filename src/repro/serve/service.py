@@ -101,6 +101,9 @@ class PredictionService:
         self._snapshot: Optional[ServingSnapshot] = None
         #: Full prediction rebuilds performed (== distinct versions served).
         self.snapshot_builds = 0
+        #: Graph deltas ingested through apply_delta.
+        self.deltas_applied = 0
+        self._dynamic = None  # lazily-built streaming.DynamicGraph wrapper
 
     # ------------------------------------------------------------------
     # Snapshot lifecycle (single writer)
@@ -169,6 +172,43 @@ class PredictionService:
         return self.snapshot()
 
     # ------------------------------------------------------------------
+    # Streaming ingestion (single writer)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> dict:
+        """Ingest a :class:`~repro.graphs.delta.GraphDelta` and republish.
+
+        Runs entirely under the writer lock: the live graph is mutated
+        through a :class:`~repro.streaming.DynamicGraph` wrapper (kept
+        across calls so its CSR/degree state is maintained incrementally),
+        the embedding cache is patched over the delta's affected receptive
+        field instead of cold-rebuilt
+        (:meth:`~repro.inference.engine.InferenceEngine.refresh_after_delta`),
+        and a fresh snapshot is swapped in before the lock is released.
+        Readers are never exposed to a half-applied delta — they hold the
+        previous immutable snapshot until the swap.
+        """
+        # Imported lazily: repro.streaming builds on repro.inference, which
+        # this package already imports at module level.
+        from ..streaming import DynamicGraph
+
+        trainer = self._trainer
+        with self._lock:
+            if self._dynamic is None or self._dynamic.graph is not trainer.dataset.graph:
+                depth = getattr(trainer.encoder, "num_message_passing_layers", 2)
+                self._dynamic = DynamicGraph(trainer.dataset.graph,
+                                             num_hops=int(depth))
+            report = self._dynamic.apply(delta)
+            trainer.inference_engine.refresh_after_delta(
+                trainer.encoder, trainer.dataset.graph, report)
+            self.deltas_applied += 1
+            snapshot = self._build_snapshot()
+            self._snapshot = snapshot
+        summary = report.describe()
+        summary["model_version"] = snapshot.version
+        summary["deltas_applied"] = self.deltas_applied
+        return summary
+
+    # ------------------------------------------------------------------
     # Query surface (many readers)
     # ------------------------------------------------------------------
     def query(self, nodes: Sequence[int]) -> List[dict]:
@@ -188,6 +228,9 @@ class PredictionService:
             "snapshot_builds": self.snapshot_builds,
             "encoder_forwards": engine.forward_count,
             "embedding_cache": cache,
+            "deltas_applied": self.deltas_applied,
+            "partial_refreshes": engine.partial_refresh_count,
+            "full_refreshes": engine.full_refresh_count,
             "model_version": (self._snapshot.version
                               if self._snapshot is not None else None),
         }

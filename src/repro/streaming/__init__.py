@@ -1,0 +1,37 @@
+"""Dynamic graphs and the streaming open-world protocol.
+
+The subsystem in four pieces:
+
+* :class:`~repro.graphs.delta.GraphDelta` (re-exported) — a batch of arriving
+  nodes/edges/labels;
+* :class:`DynamicGraph` — applies deltas to a live graph while maintaining
+  the CSR/degree state incrementally and reporting each delta's k-hop
+  affected set (:class:`DeltaReport`);
+* :func:`make_stream_scenario` / :class:`StreamScenario` — replay a static
+  open-world dataset as timestep arrival events, with one or more novel
+  classes withheld until mid-stream;
+* :class:`StreamRunner` — prequential test-then-learn replay producing
+  :class:`StreamResult` (accuracy-so-far, cluster births, detection delay,
+  per-step refresh cost).
+"""
+
+from ..graphs.delta import GraphDelta
+from .dynamic import DeltaReport, DynamicGraph, check_symmetric_edges
+from .metrics import PrequentialAccuracy, detection_delay
+from .runner import StepRecord, StreamResult, StreamRunner
+from .scenario import StreamEvent, StreamScenario, make_stream_scenario
+
+__all__ = [
+    "GraphDelta",
+    "DynamicGraph",
+    "DeltaReport",
+    "check_symmetric_edges",
+    "StreamEvent",
+    "StreamScenario",
+    "make_stream_scenario",
+    "StreamRunner",
+    "StreamResult",
+    "StepRecord",
+    "PrequentialAccuracy",
+    "detection_delay",
+]

@@ -1,0 +1,80 @@
+"""Prequential (test-then-learn) metrics for the streaming protocol.
+
+Every arrival is scored *before* the model updates on it (Gama et al.'s
+prequential protocol): seen-class arrivals must be predicted as their exact
+class, arrivals from classes outside the seen set — including classes the
+model has never observed — must be flagged as novel.  The tracker keeps
+running (accuracy-so-far) counts overall and per subset, which is the
+streaming analogue of the paper's overall/seen/novel accuracy split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class PrequentialAccuracy:
+    """Running test-then-learn accuracy, split into seen/novel arrivals."""
+
+    seen_correct: int = 0
+    seen_total: int = 0
+    novel_correct: int = 0
+    novel_total: int = 0
+    history: List[dict] = field(default_factory=list)
+
+    def update(self, correct: np.ndarray, seen_mask: np.ndarray,
+               step: Optional[int] = None) -> dict:
+        """Fold one step's per-arrival outcomes into the running counts."""
+        correct = np.asarray(correct, dtype=bool)
+        seen_mask = np.asarray(seen_mask, dtype=bool)
+        if correct.shape != seen_mask.shape:
+            raise ValueError("correct and seen_mask must align")
+        self.seen_correct += int(correct[seen_mask].sum())
+        self.seen_total += int(seen_mask.sum())
+        self.novel_correct += int(correct[~seen_mask].sum())
+        self.novel_total += int((~seen_mask).sum())
+        snapshot = self.as_dict()
+        if step is not None:
+            snapshot["step"] = int(step)
+            self.history.append(snapshot)
+        return snapshot
+
+    @property
+    def total(self) -> int:
+        return self.seen_total + self.novel_total
+
+    @property
+    def overall(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.seen_correct + self.novel_correct) / self.total
+
+    @property
+    def seen(self) -> float:
+        return self.seen_correct / self.seen_total if self.seen_total else 0.0
+
+    @property
+    def novel(self) -> float:
+        return self.novel_correct / self.novel_total if self.novel_total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "overall": self.overall,
+            "seen": self.seen,
+            "novel": self.novel,
+            "num_scored": self.total,
+        }
+
+
+def detection_delay(first_novel_step: Optional[int],
+                    first_birth_step: Optional[int]) -> Optional[int]:
+    """Steps between the first withheld-class arrival and the first cluster
+    birth; ``None`` when either event never happened (no arrival to detect,
+    or the novelty was never detected)."""
+    if first_novel_step is None or first_birth_step is None:
+        return None
+    return int(first_birth_step) - int(first_novel_step)

@@ -1,0 +1,280 @@
+"""Streaming open-world scenarios: replay a dataset as timestep events.
+
+:func:`make_stream_scenario` splits an :class:`~repro.datasets.splits.OpenWorldDataset`
+into a **base graph** the model trains on and a sequence of
+:class:`StreamEvent` arrival batches that replay the remaining nodes (and
+their induced edges) over ``num_steps`` timesteps:
+
+* every labeled train/validation node stays in the base graph (the stream
+  never removes supervision the base model was fitted on),
+* one or more novel classes are **withheld entirely** from the base graph and
+  begin arriving at ``entry_step`` — the open-world event the streaming
+  protocol exists to measure: can the model grow a new cluster for a class it
+  has never seen (cluster birth, detection delay)?
+* an edge enters the stream at the first step both endpoints exist, so the
+  graph grows exactly as the full dataset's topology dictates,
+* ground-truth labels ride along on every delta (the graph stores them), but
+  the protocol only *reveals* a configurable fraction of seen-class arrivals
+  to the learner — revealed labels extend the cluster-alignment set, withheld
+  ones are purely for prequential scoring.
+
+All node ids in events are **stream ids**: base nodes occupy ``[0, n_base)``
+(original order preserved) and arrivals take consecutive ids in arrival
+order, matching how :meth:`Graph.apply_delta` appends rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets.splits import OpenWorldDataset, OpenWorldSplit
+from ..graphs.delta import GraphDelta
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One timestep of arrivals.
+
+    Attributes
+    ----------
+    step:
+        Timestep index (0-based).
+    delta:
+        The graph mutation: arriving feature rows, their ground-truth labels,
+        and every edge whose second endpoint just arrived (both directions).
+    node_ids:
+        Stream ids the arriving nodes will take (``old_num_nodes`` onward,
+        in delta row order).
+    labels:
+        Ground-truth labels of the arriving nodes (prequential scoring).
+    revealed:
+        Boolean mask over the arrivals: ``True`` where the label is revealed
+        to the learner after scoring (test-then-learn).
+    """
+
+    step: int
+    delta: GraphDelta
+    node_ids: np.ndarray
+    labels: np.ndarray
+    revealed: np.ndarray
+
+    @property
+    def num_arrivals(self) -> int:
+        return int(self.node_ids.shape[0])
+
+
+@dataclass
+class StreamScenario:
+    """A base dataset plus the event sequence that replays the remainder."""
+
+    base: OpenWorldDataset
+    events: List[StreamEvent]
+    withheld_classes: np.ndarray
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_nodes(self) -> int:
+        return self.base.graph.num_nodes + sum(e.num_arrivals for e in self.events)
+
+    def first_withheld_step(self) -> Optional[int]:
+        """First step at which a withheld-class node arrives, or ``None``."""
+        withheld = set(int(c) for c in self.withheld_classes)
+        for event in self.events:
+            if any(int(label) in withheld for label in event.labels):
+                return event.step
+        return None
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "base_nodes": int(self.base.graph.num_nodes),
+            "total_nodes": int(self.total_nodes),
+            "num_steps": self.num_steps,
+            "withheld_classes": [int(c) for c in self.withheld_classes],
+            "first_withheld_step": self.first_withheld_step(),
+            "arrivals_per_step": [e.num_arrivals for e in self.events],
+        }
+
+
+def make_stream_scenario(
+    dataset: OpenWorldDataset,
+    num_steps: int = 8,
+    base_fraction: float = 0.6,
+    withheld_classes: Optional[Sequence[int]] = None,
+    entry_step: Optional[int] = None,
+    reveal_fraction: float = 0.0,
+    seed: int = 0,
+) -> StreamScenario:
+    """Turn a static open-world dataset into a streaming scenario.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset to replay.  Its graph must store both directions of
+        every edge (the repository convention).
+    num_steps:
+        Number of arrival batches.
+    base_fraction:
+        Fraction of the *streamable* non-withheld nodes that stay in the
+        base graph (labeled train/val nodes always stay regardless).
+    withheld_classes:
+        Class ids excluded from the base graph entirely.  Must be a strict
+        subset of the split's novel classes (the base model still needs at
+        least one in-distribution novel class to train its head against).
+        Default: the last novel class.
+    entry_step:
+        First step at which withheld-class nodes may arrive (default:
+        ``num_steps // 3``), giving the stream a clear before/after for
+        detection-delay measurement.
+    reveal_fraction:
+        Fraction of seen-class arrivals whose label is revealed to the
+        learner after prequential scoring.  Novel/withheld arrivals are
+        never revealed (their classes have no supervision by definition).
+    seed:
+        Controls base sampling, arrival order, and label revelation.
+    """
+    graph = dataset.graph
+    split = dataset.split
+    if graph.labels is None:
+        raise ValueError("streaming scenarios need a labeled graph")
+    num_steps = int(num_steps)
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    if not 0.0 < base_fraction < 1.0:
+        raise ValueError("base_fraction must be in (0, 1)")
+    if not 0.0 <= reveal_fraction <= 1.0:
+        raise ValueError("reveal_fraction must be in [0, 1]")
+    entry_step = num_steps // 3 if entry_step is None else int(entry_step)
+    if not 0 <= entry_step < num_steps:
+        raise ValueError(f"entry_step must be in [0, {num_steps})")
+
+    if withheld_classes is None:
+        withheld = split.novel_classes[-1:]
+    else:
+        withheld = np.unique(np.asarray(withheld_classes, dtype=np.int64))
+    if not np.isin(withheld, split.novel_classes).all():
+        raise ValueError(
+            f"withheld classes {withheld.tolist()} must all be novel classes "
+            f"{split.novel_classes.tolist()}")
+    remaining_novel = np.setdiff1d(split.novel_classes, withheld)
+    if remaining_novel.size == 0:
+        raise ValueError(
+            "at least one novel class must remain in the base graph; "
+            "withholding every novel class leaves the base model nothing "
+            "to train its novel head against")
+
+    rng = np.random.default_rng(seed)
+    labels = graph.labels
+    withheld_mask = np.isin(labels, withheld)
+    pinned = np.zeros(graph.num_nodes, dtype=bool)
+    pinned[split.train_nodes] = True
+    pinned[split.val_nodes] = True
+    if (pinned & withheld_mask).any():
+        raise ValueError("labeled train/val nodes cannot be withheld-class")
+
+    # Base membership: pinned nodes + a sampled fraction of the remaining
+    # non-withheld nodes; everything else (including every withheld-class
+    # node) streams in.
+    streamable = np.where(~pinned & ~withheld_mask)[0]
+    num_base_extra = int(round(base_fraction * streamable.shape[0]))
+    base_extra = rng.choice(streamable, size=num_base_extra, replace=False)
+    in_base = pinned.copy()
+    in_base[base_extra] = True
+
+    base_nodes = np.where(in_base)[0]
+    regular_arrivals = np.setdiff1d(streamable, base_extra)
+    withheld_arrivals = np.where(withheld_mask)[0]
+
+    # Assign every arrival to a step: regular arrivals spread over all
+    # steps, withheld arrivals only from entry_step onward.
+    arrival_step = -np.ones(graph.num_nodes, dtype=np.int64)
+    regular_order = rng.permutation(regular_arrivals)
+    for step, chunk in enumerate(np.array_split(regular_order, num_steps)):
+        arrival_step[chunk] = step
+    withheld_order = rng.permutation(withheld_arrivals)
+    withheld_steps = max(1, num_steps - entry_step)
+    for offset, chunk in enumerate(np.array_split(withheld_order, withheld_steps)):
+        arrival_step[chunk] = min(entry_step + offset, num_steps - 1)
+
+    # Stream ids: base nodes keep their relative order in [0, n_base);
+    # arrivals are numbered consecutively in (step, shuffled-within-step)
+    # order — exactly the order the deltas will append them.
+    stream_id = -np.ones(graph.num_nodes, dtype=np.int64)
+    stream_id[base_nodes] = np.arange(base_nodes.shape[0])
+    per_step_nodes: List[np.ndarray] = []
+    next_id = base_nodes.shape[0]
+    for step in range(num_steps):
+        nodes = np.where(arrival_step == step)[0]
+        nodes = rng.permutation(nodes)
+        stream_id[nodes] = np.arange(next_id, next_id + nodes.shape[0])
+        next_id += nodes.shape[0]
+        per_step_nodes.append(nodes)
+
+    # An edge activates at the first step both endpoints exist (-1 = base).
+    src, dst = graph.edge_index
+    edge_step = np.maximum(arrival_step[src], arrival_step[dst])
+
+    base_graph = graph.subgraph(base_nodes)
+    base_graph.name = f"{graph.name}-stream-base"
+    base_split = OpenWorldSplit(
+        seen_classes=split.seen_classes,
+        novel_classes=remaining_novel,
+        train_nodes=stream_id[split.train_nodes],
+        val_nodes=stream_id[split.val_nodes],
+        test_nodes=stream_id[np.intersect1d(split.test_nodes, base_nodes)],
+        seed=split.seed,
+    )
+    base = OpenWorldDataset(
+        graph=base_graph,
+        split=base_split,
+        name=f"{dataset.name}-stream-base",
+        metadata=dict(dataset.metadata),
+    )
+
+    events: List[StreamEvent] = []
+    seen_set = set(int(c) for c in split.seen_classes)
+    for step in range(num_steps):
+        nodes = per_step_nodes[step]
+        mask = edge_step == step
+        delta_edges = np.vstack([stream_id[src[mask]], stream_id[dst[mask]]])
+        node_labels = labels[nodes]
+        revealed = np.zeros(nodes.shape[0], dtype=bool)
+        if reveal_fraction > 0.0 and nodes.size:
+            seen_arrival = np.isin(node_labels, split.seen_classes)
+            revealed = seen_arrival & (rng.random(nodes.shape[0]) < reveal_fraction)
+        delta = GraphDelta(
+            add_features=graph.features[nodes],
+            add_edges=delta_edges,
+            add_labels=node_labels,
+        )
+        events.append(StreamEvent(
+            step=step,
+            delta=delta,
+            node_ids=stream_id[nodes],
+            labels=node_labels,
+            revealed=revealed,
+        ))
+
+    withheld_total = int(withheld_mask.sum())
+    return StreamScenario(
+        base=base,
+        events=events,
+        withheld_classes=withheld,
+        name=f"{dataset.name}-stream",
+        metadata={
+            "seed": int(seed),
+            "entry_step": int(entry_step),
+            "base_fraction": float(base_fraction),
+            "reveal_fraction": float(reveal_fraction),
+            "num_withheld_nodes": withheld_total,
+            "seen_classes": sorted(seen_set),
+        },
+    )

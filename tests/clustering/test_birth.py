@@ -1,0 +1,178 @@
+"""Silhouette metrics and the online strategy's cluster-birth trigger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.engine import ClusteringEngine
+from repro.clustering.metrics import (per_cluster_silhouette, silhouette_samples,
+                                      silhouette_score)
+from repro.core.config import ClusteringConfig
+
+
+def blobs(sizes, centers, spread=0.3, seed=0):
+    """Well-separated Gaussian blobs with ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    data, labels = [], []
+    for label, (size, center) in enumerate(zip(sizes, centers)):
+        data.append(rng.normal(scale=spread, size=(size, 2)) + np.asarray(center))
+        labels.append(np.full(size, label))
+    return np.vstack(data), np.concatenate(labels)
+
+
+class TestSilhouetteScore:
+    def test_well_separated_blobs_score_high(self):
+        data, labels = blobs([50, 50], [(0, 0), (10, 10)])
+        assert silhouette_score(data, labels, sample_size=None) > 0.9
+
+    def test_merged_labeling_scores_lower(self):
+        data, _ = blobs([50, 50, 50], [(0, 0), (10, 0), (5, 9)])
+        good = np.repeat([0, 1, 2], 50)
+        merged = np.repeat([0, 0, 1], 50)
+        exact_kw = dict(sample_size=None)
+        assert silhouette_score(data, merged, **exact_kw) < silhouette_score(
+            data, good, **exact_kw)
+
+    def test_sampled_agrees_with_exact(self):
+        data, labels = blobs([300, 300], [(0, 0), (8, 8)], seed=3)
+        exact = silhouette_score(data, labels, sample_size=None)
+        sampled = silhouette_score(data, labels, sample_size=200, seed=1)
+        assert abs(exact - sampled) < 0.05
+
+    def test_sampled_is_deterministic(self):
+        data, labels = blobs([300, 300], [(0, 0), (8, 8)])
+        a = silhouette_score(data, labels, sample_size=100, seed=4)
+        b = silhouette_score(data, labels, sample_size=100, seed=4)
+        assert a == b
+
+    def test_degenerate_cases_score_zero(self):
+        data, _ = blobs([10], [(0, 0)])
+        assert silhouette_score(data, np.zeros(10, dtype=int)) == 0.0
+        assert silhouette_score(data[:1], np.array([0])) == 0.0
+        assert silhouette_score(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_samples_still_raise_on_single_cluster(self):
+        data, _ = blobs([10], [(0, 0)])
+        with pytest.raises(ValueError, match="at least two clusters"):
+            silhouette_samples(data, np.zeros(10, dtype=int))
+
+
+class TestPerClusterSilhouette:
+    def test_flags_the_merged_cluster(self):
+        data, _ = blobs([60, 60, 60], [(0, 0), (6, 0), (0, 6)], seed=1)
+        merged = np.repeat([0, 0, 1], 60)  # cluster 0 covers two blobs
+        scores = per_cluster_silhouette(data, merged, sample_size=None)
+        assert set(scores) == {0, 1}
+        assert scores[0] < scores[1]
+
+    def test_degenerate_returns_empty(self):
+        data, _ = blobs([10], [(0, 0)])
+        assert per_cluster_silhouette(data, np.zeros(10, dtype=int)) == {}
+        assert per_cluster_silhouette(data[:1], np.array([0])) == {}
+
+    def test_matches_samples_mean(self):
+        data, labels = blobs([40, 40], [(0, 0), (7, 7)], seed=2)
+        scores = per_cluster_silhouette(data, labels, sample_size=None)
+        samples = silhouette_samples(data, labels)
+        for cluster, score in scores.items():
+            assert score == pytest.approx(samples[labels == cluster].mean())
+
+
+def birth_engine(**overrides):
+    defaults = dict(strategy="online", birth_threshold=0.7,
+                    birth_min_size=8, birth_sample_size=512)
+    defaults.update(overrides)
+    return ClusteringEngine(ClusteringConfig(**defaults), seed=0)
+
+
+class TestClusterBirth:
+    def test_birth_recovers_hidden_blob(self):
+        # Three blobs, but only two clusters requested: the merged cluster's
+        # silhouette degrades and the engine births the third centroid.
+        data, truth = blobs([200, 200, 200], [(0, 0), (12, 0), (6, 10)], seed=0)
+        engine = birth_engine()
+        outcome = engine.refresh(data, 2, allow_birth=True)
+        assert outcome.births != ()
+        assert outcome.result.centers.shape[0] == 3
+        assert engine.birth_count == 1
+        sizes = np.sort(np.bincount(outcome.result.labels))
+        np.testing.assert_array_equal(sizes, [200, 200, 200])
+
+    def test_birth_persists_as_floor(self):
+        data, _ = blobs([200, 200, 200], [(0, 0), (12, 0), (6, 10)], seed=0)
+        engine = birth_engine()
+        engine.refresh(data, 2, allow_birth=True)
+        # Asking for 2 again must not collapse the born cluster.
+        outcome = engine.refresh(data, 2, allow_birth=True)
+        assert outcome.result.centers.shape[0] == 3
+        assert outcome.births == ()  # stable now, no repeated births
+
+    def test_max_clusters_caps_births(self):
+        data, _ = blobs([200, 200, 200], [(0, 0), (12, 0), (6, 10)], seed=0)
+        engine = birth_engine(birth_threshold=0.99, max_clusters=2)
+        outcome = engine.refresh(data, 2, allow_birth=True)
+        assert outcome.births == ()
+        assert outcome.result.centers.shape[0] == 2
+        assert engine.birth_count == 0
+
+    def test_min_size_gates_tiny_clusters(self):
+        # The degraded cluster is too small to be split.
+        data, _ = blobs([6, 200], [(0, 0), (12, 0)], seed=0)
+        engine = birth_engine(birth_threshold=0.99, birth_min_size=250)
+        outcome = engine.refresh(data, 2, allow_birth=True)
+        assert outcome.births == ()
+
+    def test_plain_refresh_never_births(self):
+        """The training loop's refresh keeps the exact-k contract."""
+        data, _ = blobs([200, 200, 200], [(0, 0), (12, 0), (6, 10)], seed=0)
+        engine = birth_engine()
+        outcome = engine.refresh(data, 2)  # allow_birth defaults to False
+        assert outcome.births == ()
+        assert outcome.result.centers.shape[0] == 2
+        assert engine.birth_count == 0
+
+    def test_one_birth_per_refresh(self):
+        # Four blobs under two requested clusters: each refresh may only
+        # split once, so reaching four centroids takes two birthing passes.
+        data, _ = blobs([150, 150, 150, 150],
+                        [(0, 0), (14, 0), (0, 14), (14, 14)], seed=1)
+        engine = birth_engine(birth_threshold=0.8)
+        first = engine.refresh(data, 2, allow_birth=True)
+        assert first.result.centers.shape[0] == 3
+        second = engine.refresh(data, 2, allow_birth=True)
+        assert second.result.centers.shape[0] == 4
+        assert engine.birth_count == 2
+
+    def test_state_dict_round_trips_birth_state(self):
+        data, _ = blobs([200, 200, 200], [(0, 0), (12, 0), (6, 10)], seed=0)
+        engine = birth_engine()
+        engine.refresh(data, 2, allow_birth=True)
+        meta, arrays = engine.state_dict()
+        assert meta["birth_count"] == 1
+
+        restored = birth_engine()
+        restored.load_state_dict(meta, arrays)
+        assert restored.birth_count == 1
+        outcome = restored.refresh(data, 2, allow_birth=True)
+        # The floor survives the checkpoint: still three clusters, no re-birth.
+        assert outcome.result.centers.shape[0] == 3
+        assert outcome.births == ()
+
+
+class TestBirthConfigValidation:
+    def test_birth_requires_online_strategy(self):
+        with pytest.raises(ValueError, match="online strategy"):
+            ClusteringConfig(strategy="exact", birth_threshold=0.2)
+
+    def test_birth_threshold_range(self):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            ClusteringConfig(strategy="online", birth_threshold=1.5)
+
+    def test_birth_sizes_validated(self):
+        with pytest.raises(ValueError, match="birth_sample_size"):
+            ClusteringConfig(strategy="online", birth_sample_size=1)
+        with pytest.raises(ValueError, match="birth_min_size"):
+            ClusteringConfig(strategy="online", birth_min_size=0)
+        with pytest.raises(ValueError, match="max_clusters"):
+            ClusteringConfig(strategy="online", max_clusters=0)

@@ -264,3 +264,44 @@ class TestClusteringOverrides:
     def test_bare_clustering_override_rejected(self, checkpoint):
         with pytest.raises(ValueError, match="clustering.strategy=minibatch"):
             main(["predict", str(checkpoint), "--set", "clustering=minibatch"])
+
+
+class TestStreamCommand:
+    TINY_STREAM = ["stream", "--dataset", "citeseer", "--scale", "0.15",
+                   "--epochs", "1", "--steps", "3"]
+
+    def test_stream_end_to_end(self, capsys):
+        result = main(self.TINY_STREAM)
+        captured = capsys.readouterr()
+        assert "prequential" in captured.out
+        assert "step" in captured.out and "refresh" in captured.out
+        assert result["method"] == "openima"
+        assert result["scenario"]["num_steps"] == 3
+        assert len(result["steps"]) == 3
+        summary = result["summary"]
+        assert 0.0 <= summary["prequential"]["overall"] <= 1.0
+        assert summary["partial_refresh_steps"] + summary["full_refresh_steps"] == 3
+        # Every arrival outside the base graph was scored exactly once.
+        assert summary["prequential"]["num_scored"] == (
+            result["scenario"]["total_nodes"] - result["scenario"]["base_nodes"])
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(self.TINY_STREAM)
+        assert args.experiment == "stream"
+        assert args.steps == 3
+        assert args.birth_threshold == pytest.approx(0.2)
+        assert args.max_clusters is None
+
+    def test_stream_output_flag_writes_json(self, tmp_path):
+        from repro.experiments.persistence import load_results
+
+        path = tmp_path / "stream.json"
+        main(self.TINY_STREAM + ["--output", str(path)])
+        loaded = load_results(path)
+        assert loaded["scenario"]["num_steps"] == 3
+
+    def test_stream_birth_disabled_via_flag(self):
+        result = main(self.TINY_STREAM + ["--birth-threshold", "-1"])
+        summary = result["summary"]
+        assert summary["first_birth_step"] is None
+        assert summary["num_clusters_end"] == summary["num_clusters_start"]

@@ -128,4 +128,5 @@ class TestEmbeddings:
         engine.embeddings(encoder, graph)
         engine.embeddings(encoder, graph)
         assert engine.stats() == {
-            "forwards": 1, "cache_hits": 1, "cache_misses": 1}
+            "forwards": 1, "cache_hits": 1, "cache_misses": 1,
+            "partial_refreshes": 0, "full_refreshes": 0}

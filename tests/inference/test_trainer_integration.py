@@ -123,7 +123,8 @@ class TestCheckpointPersistence:
         manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
         assert manifest["config"]["inference"] == {
             "mode": "layerwise", "chunk_size": 77, "cache": False,
-            "auto_threshold": 32768,
+            "auto_threshold": 32768, "partial_refresh": True,
+            "partial_threshold": 0.5,
         }
         restored, _ = load_trainer_checkpoint(tmp_path / "ckpt",
                                               dataset=small_dataset)

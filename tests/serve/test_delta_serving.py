@@ -1,0 +1,152 @@
+"""Streaming delta ingestion through the serving layer.
+
+A live server must absorb graph growth without a cold rebuild: the service
+mutates its graph through a persistent DynamicGraph, patches the embedding
+cache over the affected receptive field, and atomically swaps the snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphDelta
+from repro.serve import (
+    ModelServer,
+    PredictionService,
+    ServeClient,
+    ServeClientError,
+    ServeConfig,
+)
+
+
+def arrival_delta(graph, num_new=1, seed=0):
+    """A small delta anchoring each new node to an existing one."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    return GraphDelta.undirected(
+        add_features=rng.normal(size=(num_new, graph.features.shape[1])),
+        add_edges=np.vstack([np.arange(n, n + num_new),
+                             rng.integers(n, size=num_new)]),
+    )
+
+
+class TestServiceApplyDelta:
+    def test_snapshot_swapped_and_new_node_queryable(self, served_classifier):
+        service = PredictionService(served_classifier)
+        before = service.warm()
+        graph = served_classifier.trainer_.dataset.graph
+        new_node = graph.num_nodes
+
+        summary = service.apply_delta(arrival_delta(graph))
+        assert summary["deltas_applied"] == 1
+        assert summary["model_version"]["graph_version"] == before.graph_version + 1
+
+        after = service.snapshot()
+        assert after is not before
+        assert after.num_nodes == before.num_nodes + 1
+        payload = service.query_one(new_node)
+        assert payload["node"] == new_node
+        assert isinstance(payload["prediction"], int)
+
+    def test_small_delta_is_served_by_partial_refresh(self, served_classifier):
+        service = PredictionService(served_classifier)
+        service.warm()
+        engine = served_classifier.trainer_.inference_engine
+        forwards_before = engine.forward_count
+        graph = served_classifier.trainer_.dataset.graph
+
+        service.apply_delta(arrival_delta(graph))
+        stats = service.stats()
+        assert stats["deltas_applied"] == 1
+        assert stats["partial_refreshes"] == 1
+        # The refresh patched the cache: no monolithic pass was added.
+        assert engine.forward_count == forwards_before
+
+    def test_consecutive_deltas_keep_dynamic_state(self, served_classifier):
+        service = PredictionService(served_classifier)
+        service.warm()
+        graph = served_classifier.trainer_.dataset.graph
+        start = graph.num_nodes
+        for seed in range(3):
+            service.apply_delta(arrival_delta(graph, seed=seed))
+        assert graph.num_nodes == start + 3
+        assert service.stats()["deltas_applied"] == 3
+        # Every added node answers queries from the republished snapshot.
+        payloads = service.query(list(range(start, start + 3)))
+        assert [p["node"] for p in payloads] == list(range(start, start + 3))
+
+    def test_reader_holding_old_snapshot_stays_consistent(self, served_classifier):
+        service = PredictionService(served_classifier)
+        old = service.warm()
+        graph = served_classifier.trainer_.dataset.graph
+        service.apply_delta(arrival_delta(graph))
+        # The pre-delta snapshot still answers within its own node range.
+        payload = old.query([0])[0]
+        assert payload["node"] == 0
+        with pytest.raises(IndexError):
+            old.query([old.num_nodes])
+
+
+@pytest.fixture()
+def running_server(served_classifier):
+    server = ModelServer(
+        PredictionService(served_classifier),
+        ServeConfig(port=0, batch_window_ms=1.0),
+    )
+    server.serve_in_background()
+    client = ServeClient(port=server.port)
+    client.wait_until_ready(timeout=10)
+    yield served_classifier, server, client
+    client.close()
+    server.shutdown()
+
+
+class TestHTTPDelta:
+    def test_round_trip_grows_the_served_graph(self, running_server):
+        classifier, _, client = running_server
+        graph = classifier.trainer_.dataset.graph
+        new_node = graph.num_nodes
+        features = np.random.default_rng(1).normal(
+            size=graph.features.shape[1]).tolist()
+
+        summary = client.apply_delta(features=[features],
+                                     edges=[[new_node], [0]])
+        assert summary["new_num_nodes"] == summary["old_num_nodes"] + 1
+        assert summary["deltas_applied"] == 1
+
+        payload = client.predict(new_node)
+        assert payload["node"] == new_node
+        health = client.health()
+        assert health["num_nodes"] == new_node + 1
+
+    def test_stats_expose_streaming_counters(self, running_server):
+        classifier, _, client = running_server
+        graph = classifier.trainer_.dataset.graph
+        features = [0.0] * graph.features.shape[1]
+        client.apply_delta(features=[features],
+                           edges=[[graph.num_nodes], [1]])
+        service_stats = client.stats()["service"]
+        assert service_stats["deltas_applied"] == 1
+        assert service_stats["partial_refreshes"] >= 1
+        assert "full_refreshes" in service_stats
+
+    def test_unknown_field_rejected(self, running_server):
+        _, _, client = running_server
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/delta", {"nodes": [[1.0]]})
+        assert excinfo.value.status == 400
+        assert "unknown delta fields" in str(excinfo.value)
+
+    def test_wrong_feature_width_rejected(self, running_server):
+        _, _, client = running_server
+        with pytest.raises(ServeClientError) as excinfo:
+            client.apply_delta(features=[[1.0, 2.0]])
+        assert excinfo.value.status == 400
+
+    def test_out_of_range_edge_rejected(self, running_server):
+        classifier, _, client = running_server
+        graph = classifier.trainer_.dataset.graph
+        with pytest.raises(ServeClientError) as excinfo:
+            client.apply_delta(edges=[[graph.num_nodes + 5], [0]])
+        assert excinfo.value.status == 400

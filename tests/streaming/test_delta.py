@@ -1,0 +1,135 @@
+"""GraphDelta validation and Graph.apply_delta cache semantics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphDelta
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+
+
+def toy_graph(labeled: bool = True) -> Graph:
+    rng = np.random.default_rng(3)
+    edge_index = symmetrize_edges(np.array([[0, 1, 2, 3], [1, 2, 3, 4]]))
+    return Graph(
+        features=rng.normal(size=(5, 4)),
+        edge_index=edge_index,
+        labels=np.array([0, 0, 1, 1, 2]) if labeled else None,
+        name="toy",
+    )
+
+
+class TestGraphDelta:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GraphDelta(add_features=np.zeros(3))
+        with pytest.raises(ValueError, match="shape"):
+            GraphDelta(add_edges=np.array([0, 1, 2]))
+        with pytest.raises(ValueError, match="negative"):
+            GraphDelta(add_edges=np.array([[0, -1], [1, 0]]))
+        with pytest.raises(ValueError, match="one entry per new node"):
+            GraphDelta(add_features=np.zeros((2, 4)), add_labels=np.array([1]))
+
+    def test_empty_delta(self):
+        delta = GraphDelta()
+        assert delta.is_empty
+        assert delta.num_new_nodes == 0
+        assert delta.num_new_edges == 0
+        assert delta.touched_nodes(10).size == 0
+
+    def test_touched_nodes_is_sorted_union(self):
+        delta = GraphDelta(
+            add_features=np.zeros((2, 4)),
+            add_edges=np.array([[5, 0, 6], [0, 5, 3]]),
+        )
+        np.testing.assert_array_equal(delta.touched_nodes(5), [0, 3, 5, 6])
+
+    def test_undirected_symmetrizes_and_dedups(self):
+        delta = GraphDelta.undirected(
+            add_edges=np.array([[0, 1, 1], [1, 0, 2]]))
+        src, dst = delta.add_edges
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_validate_for_checks_feature_width_and_edge_bounds(self):
+        graph = toy_graph()
+        with pytest.raises(ValueError, match="columns"):
+            GraphDelta(add_features=np.zeros((1, 2))).validate_for(graph)
+        with pytest.raises(ValueError, match="will only have"):
+            GraphDelta(add_edges=np.array([[5], [0]])).validate_for(graph)
+        # One new node makes id 5 legal.
+        GraphDelta(add_features=np.zeros((1, 4)),
+                   add_edges=np.array([[5], [0]])).validate_for(graph)
+
+    def test_labels_rejected_on_unlabeled_graph(self):
+        graph = toy_graph(labeled=False)
+        delta = GraphDelta(add_features=np.zeros((1, 4)),
+                           add_labels=np.array([2]))
+        with pytest.raises(ValueError, match="unlabeled"):
+            delta.validate_for(graph)
+
+
+class TestApplyDelta:
+    def test_appends_nodes_edges_and_labels(self):
+        graph = toy_graph()
+        delta = GraphDelta.undirected(
+            add_features=np.ones((2, 4)),
+            add_edges=np.array([[5, 6], [0, 5]]),
+            add_labels=np.array([2, 0]),
+        )
+        graph.apply_delta(delta)
+        assert graph.num_nodes == 7
+        np.testing.assert_array_equal(graph.labels[5:], [2, 0])
+        np.testing.assert_array_equal(graph.features[5:], np.ones((2, 4)))
+
+    def test_missing_labels_fill_with_minus_one(self):
+        graph = toy_graph()
+        graph.apply_delta(GraphDelta(add_features=np.zeros((1, 4))))
+        assert graph.labels[5] == -1
+
+    def test_version_bumps_even_for_empty_delta(self):
+        graph = toy_graph()
+        before = graph.cache_version
+        graph.apply_delta(GraphDelta())
+        assert graph.cache_version == before + 1
+
+    def test_neighbors_sees_new_edges(self):
+        """Regression: the CSR neighbor cache must drop on apply_delta."""
+        graph = toy_graph()
+        assert 4 not in graph.neighbors(0).tolist()  # warms the CSR cache
+        graph.apply_delta(GraphDelta.undirected(add_edges=np.array([[0], [4]])))
+        assert 4 in graph.neighbors(0).tolist()
+        assert 0 in graph.neighbors(4).tolist()
+
+    def test_copy_after_delta_sees_new_edges(self):
+        graph = toy_graph()
+        graph.neighbors(0)
+        graph.apply_delta(GraphDelta.undirected(add_edges=np.array([[0], [3]])))
+        clone = graph.copy()
+        assert 3 in clone.neighbors(0).tolist()
+        # The copy starts with fresh caches and version 0.
+        assert clone.cache_version == 0
+
+    def test_dataclasses_replace_does_not_inherit_stale_csr(self):
+        graph = toy_graph()
+        graph.neighbors(0)  # warm the donor's CSR cache
+        new_edges = np.hstack([graph.edge_index,
+                               symmetrize_edges(np.array([[0], [4]]))])
+        clone = dataclasses.replace(graph, edge_index=new_edges)
+        assert 4 in clone.neighbors(0).tolist()
+
+    def test_propagation_and_adjacency_rebuilt(self):
+        graph = toy_graph()
+        p_before = graph.propagation()
+        a_before = graph.adjacency()
+        graph.apply_delta(GraphDelta.undirected(
+            add_features=np.zeros((1, 4)), add_edges=np.array([[5], [0]]),
+            add_labels=np.array([1])))
+        assert graph.propagation().shape == (6, 6)
+        assert graph.adjacency().shape == (6, 6)
+        assert p_before.shape == (5, 5)
+        assert a_before.shape == (5, 5)

@@ -1,0 +1,163 @@
+"""DynamicGraph: incremental CSR/degree maintenance and affected sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphDelta
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import build_edge_csr
+from repro.graphs.utils import symmetrize_edges
+from repro.streaming import DynamicGraph, check_symmetric_edges
+
+
+def random_graph(num_nodes=120, avg_degree=5, num_features=8, seed=0) -> Graph:
+    rng = np.random.default_rng(seed)
+    num_edges = num_nodes * avg_degree // 2
+    src = rng.integers(num_nodes, size=num_edges)
+    dst = rng.integers(num_nodes, size=num_edges)
+    return Graph(
+        features=rng.normal(size=(num_nodes, num_features)),
+        edge_index=symmetrize_edges(np.vstack([src, dst])),
+        labels=rng.integers(3, size=num_nodes),
+        name="dyn",
+    )
+
+
+def random_delta(graph: Graph, num_new=3, num_edges=5, seed=0) -> GraphDelta:
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    total = n + num_new
+    src = rng.integers(total, size=num_edges)
+    dst = rng.integers(total, size=num_edges)
+    # Every new node gets at least one edge so it is connected.
+    anchor_src = np.arange(n, total)
+    anchor_dst = rng.integers(n, size=num_new)
+    return GraphDelta.undirected(
+        add_features=rng.normal(size=(num_new, graph.num_features)),
+        add_edges=np.vstack([np.concatenate([src, anchor_src]),
+                             np.concatenate([dst, anchor_dst])]),
+        add_labels=rng.integers(3, size=num_new),
+    )
+
+
+def brute_force_ball(graph: Graph, seeds: np.ndarray, num_hops: int) -> set:
+    src, dst = graph.edge_index
+    field = set(int(s) for s in seeds)
+    frontier = set(field)
+    for _ in range(num_hops):
+        nxt = set()
+        for s, d in zip(src.tolist(), dst.tolist()):
+            if s in frontier and d not in field:
+                nxt.add(d)
+        field |= nxt
+        frontier = nxt
+    return field
+
+
+class TestSymmetryCheck:
+    def test_accepts_symmetric(self):
+        check_symmetric_edges(symmetrize_edges(np.array([[0, 1], [1, 2]])))
+
+    def test_rejects_one_directional(self):
+        with pytest.raises(ValueError, match="not symmetric"):
+            check_symmetric_edges(np.array([[0], [1]]))
+
+    def test_constructor_validates(self):
+        graph = random_graph()
+        graph.edge_index = graph.edge_index[:, :-1]
+        graph.invalidate_caches()
+        with pytest.raises(ValueError, match="not symmetric"):
+            DynamicGraph(graph)
+
+
+class TestIncrementalMaintenance:
+    def test_csr_matches_rebuild_after_deltas(self):
+        graph = random_graph()
+        dynamic = DynamicGraph(graph, num_hops=2)
+        for seed in range(4):
+            dynamic.apply(random_delta(graph, seed=seed))
+        indptr, indices = build_edge_csr(graph.edge_index, graph.num_nodes)
+        np.testing.assert_array_equal(dynamic._indptr, indptr)
+        # Segment contents must match as multisets (order within a source's
+        # segment is an implementation detail of the merge).
+        for v in range(graph.num_nodes):
+            mine = np.sort(dynamic._indices[dynamic._indptr[v]:dynamic._indptr[v + 1]])
+            ref = np.sort(indices[indptr[v]:indptr[v + 1]])
+            np.testing.assert_array_equal(mine, ref)
+
+    def test_degrees_match_rebuild(self):
+        graph = random_graph(seed=2)
+        dynamic = DynamicGraph(graph, num_hops=2)
+        for seed in range(3):
+            dynamic.apply(random_delta(graph, seed=10 + seed))
+        src, dst = graph.edge_index
+        expected = np.bincount(src[src != dst],
+                               minlength=graph.num_nodes).astype(float) + 1.0
+        np.testing.assert_array_equal(dynamic.degrees(), expected)
+
+    def test_report_versions_and_counters(self):
+        graph = random_graph()
+        dynamic = DynamicGraph(graph, num_hops=2)
+        v0 = graph.cache_version
+        report = dynamic.apply(random_delta(graph, num_new=2, seed=5))
+        assert report.old_cache_version == v0
+        assert report.new_cache_version == graph.cache_version == v0 + 1
+        assert report.new_num_nodes == report.old_num_nodes + 2
+        assert dynamic.deltas_applied == 1
+        assert dynamic.last_report is report
+
+
+class TestAffectedSet:
+    @pytest.mark.parametrize("num_hops", [1, 2])
+    def test_affected_is_k_hop_ball_around_seeds(self, num_hops):
+        graph = random_graph(seed=4)
+        dynamic = DynamicGraph(graph, num_hops=num_hops)
+        delta = random_delta(graph, seed=6)
+        report = dynamic.apply(delta)
+        expected = brute_force_ball(graph, report.seeds, num_hops)
+        assert set(report.affected.tolist()) == expected
+
+    def test_seeds_are_touched_nodes(self):
+        graph = random_graph(seed=1)
+        dynamic = DynamicGraph(graph, num_hops=2)
+        old_n = graph.num_nodes
+        delta = random_delta(graph, seed=7)
+        report = dynamic.apply(delta)
+        np.testing.assert_array_equal(report.seeds, delta.touched_nodes(old_n))
+
+    def test_batch_covers_double_radius(self):
+        graph = random_graph(seed=8)
+        dynamic = DynamicGraph(graph, num_hops=2)
+        report = dynamic.apply(random_delta(graph, seed=9))
+        batch = report.batch
+        expected_field = brute_force_ball(graph, report.seeds, 4)
+        assert set(batch.node_ids.tolist()) == expected_field
+        # Affected nodes come first and are the batch seeds.
+        np.testing.assert_array_equal(
+            batch.node_ids[batch.seed_local], report.affected)
+
+    def test_batch_propagation_equals_full_graph_slice(self):
+        graph = random_graph(seed=3)
+        dynamic = DynamicGraph(graph, num_hops=2)
+        report = dynamic.apply(random_delta(graph, seed=11))
+        batch = report.batch
+        full = graph.propagation().toarray()
+        local = batch.graph.propagation().toarray()
+        ids = batch.node_ids
+        np.testing.assert_allclose(local, full[np.ix_(ids, ids)], atol=1e-12)
+
+    def test_empty_delta_reports_nothing_affected(self):
+        graph = random_graph()
+        dynamic = DynamicGraph(graph)
+        report = dynamic.apply(GraphDelta())
+        assert report.num_affected == 0
+        assert report.batch is None
+        assert report.affected_fraction == 0.0
+
+    def test_asymmetric_delta_rejected(self):
+        graph = random_graph()
+        dynamic = DynamicGraph(graph)
+        with pytest.raises(ValueError, match="not symmetric"):
+            dynamic.apply(GraphDelta(add_edges=np.array([[0], [1]])))

@@ -1,0 +1,154 @@
+"""StreamRunner: prequential replay, cluster birth, detection delay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.classifier import OpenWorldClassifier
+from repro.core.config import ClusteringConfig, fast_config
+from repro.datasets.splits import OpenWorldDataset, make_open_world_split
+from repro.graphs.generators import SBMConfig, generate_sbm_graph
+from repro.streaming import (PrequentialAccuracy, StreamRunner, detection_delay,
+                             make_stream_scenario)
+
+# Calibrated for the fixture below: the withheld class merged into its host
+# cluster scores ~0.45-0.6 per-cluster silhouette while pure clusters sit
+# higher, so one birth fires shortly after the withheld class arrives and
+# the cluster count stabilises at seen+novel+withheld.
+BIRTH_THRESHOLD = 0.55
+
+
+def make_dataset() -> OpenWorldDataset:
+    config = SBMConfig(num_nodes=360, num_classes=4, avg_degree=10.0,
+                       homophily=0.92, feature_dim=16, feature_sparsity=0.0,
+                       feature_noise=0.2)
+    graph = generate_sbm_graph(config, seed=7, name="runner-sbm")
+    split = make_open_world_split(graph, seen_fraction=0.5,
+                                  labels_per_class=12, seed=7)
+    return OpenWorldDataset(graph=graph, split=split, name="runner-sbm")
+
+
+def fit_on(scenario, birth_threshold):
+    clustering = ClusteringConfig(strategy="online",
+                                  birth_threshold=birth_threshold,
+                                  birth_min_size=8, max_clusters=6)
+    classifier = OpenWorldClassifier(
+        config=fast_config(max_epochs=4, seed=0, clustering=clustering))
+    classifier.fit(scenario.base)
+    return classifier
+
+
+@pytest.fixture(scope="module")
+def replay():
+    """One full replay with birth enabled, shared across assertions."""
+    dataset = make_dataset()
+    scenario = make_stream_scenario(dataset, num_steps=6, base_fraction=0.6,
+                                    entry_step=2, reveal_fraction=0.3, seed=7)
+    classifier = fit_on(scenario, BIRTH_THRESHOLD)
+    result = StreamRunner(classifier, scenario).run()
+    return dataset, scenario, classifier, result
+
+
+class TestClusterBirth:
+    def test_withheld_class_births_a_cluster(self, replay):
+        _, scenario, _, result = replay
+        assert result.first_withheld_step == 2
+        assert result.first_birth_step is not None
+        # The birth must come at or after the withheld class first arrives.
+        assert result.first_birth_step >= result.first_withheld_step
+        assert result.detection_delay is not None
+        assert 0 <= result.detection_delay <= 2
+        assert result.num_clusters_end > result.num_clusters_start
+
+    def test_birth_improves_novel_accuracy(self, replay):
+        _, _, _, result = replay
+        # With the extra centroid the withheld arrivals map outside the seen
+        # set; without it they collapse into a seen cluster (~0.3 novel acc).
+        assert result.accuracy.novel >= 0.5
+        assert result.accuracy.seen >= 0.8
+
+    def test_no_birth_without_threshold(self):
+        dataset = make_dataset()
+        scenario = make_stream_scenario(dataset, num_steps=4,
+                                        base_fraction=0.6, entry_step=1,
+                                        seed=7)
+        classifier = fit_on(scenario, birth_threshold=None)
+        result = StreamRunner(classifier, scenario).run()
+        assert result.first_birth_step is None
+        assert result.detection_delay is None
+        assert result.num_clusters_end == result.num_clusters_start
+
+
+class TestReplayMechanics:
+    def test_every_arrival_scored_once(self, replay):
+        _, scenario, _, result = replay
+        streamed = sum(e.num_arrivals for e in scenario.events)
+        assert result.accuracy.total == streamed
+        assert sum(r.num_arrivals for r in result.records) == streamed
+
+    def test_graph_mutated_in_place_to_full_size(self, replay):
+        dataset, scenario, classifier, _ = replay
+        graph = classifier.trainer_.dataset.graph
+        assert graph is scenario.base.graph
+        assert graph.num_nodes == dataset.graph.num_nodes
+
+    def test_records_and_describe(self, replay):
+        import json
+
+        _, scenario, _, result = replay
+        assert [r.step for r in result.records] == list(range(scenario.num_steps))
+        report = json.loads(json.dumps(result.describe()))
+        assert len(report["steps"]) == scenario.num_steps
+        assert report["prequential"]["num_scored"] == result.accuracy.total
+        summary = result.summary()
+        assert (summary["partial_refresh_steps"]
+                + summary["full_refresh_steps"]) == scenario.num_steps
+
+    def test_exhausted_stream_raises(self, replay):
+        _, scenario, classifier, _ = replay
+        runner_done = StreamRunner.__new__(StreamRunner)  # skip re-fit
+        runner_done.scenario = scenario
+        runner_done._next_event = len(scenario.events)
+        with pytest.raises(IndexError, match="exhausted"):
+            StreamRunner.step(runner_done)
+
+    def test_wrong_base_graph_rejected(self, replay):
+        dataset, _, classifier, _ = replay
+        other = make_stream_scenario(dataset, num_steps=3, seed=1)
+        with pytest.raises(ValueError, match="base graph"):
+            StreamRunner(classifier, other)
+
+    def test_unfitted_model_rejected(self, replay):
+        _, scenario, _, _ = replay
+        with pytest.raises(ValueError, match="fitted"):
+            StreamRunner(OpenWorldClassifier(), scenario)
+
+
+class TestPrequentialAccuracy:
+    def test_running_counts(self):
+        acc = PrequentialAccuracy()
+        acc.update(np.array([True, False, True]),
+                   np.array([True, True, False]), step=0)
+        acc.update(np.array([True]), np.array([False]), step=1)
+        assert acc.seen_total == 2 and acc.seen_correct == 1
+        assert acc.novel_total == 2 and acc.novel_correct == 2
+        assert acc.overall == pytest.approx(0.75)
+        assert acc.seen == pytest.approx(0.5)
+        assert acc.novel == pytest.approx(1.0)
+        assert [h["step"] for h in acc.history] == [0, 1]
+
+    def test_empty_tracker_is_zero(self):
+        acc = PrequentialAccuracy()
+        assert acc.overall == 0.0 and acc.seen == 0.0 and acc.novel == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            PrequentialAccuracy().update(np.array([True]),
+                                         np.array([True, False]))
+
+    def test_detection_delay(self):
+        assert detection_delay(2, 3) == 1
+        assert detection_delay(2, 2) == 0
+        assert detection_delay(None, 3) is None
+        assert detection_delay(2, None) is None

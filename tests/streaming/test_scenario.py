@@ -1,0 +1,136 @@
+"""StreamScenario construction: structure invariants and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import OpenWorldDataset, make_open_world_split
+from repro.graphs.generators import SBMConfig, generate_sbm_graph
+from repro.streaming import check_symmetric_edges, make_stream_scenario
+
+
+@pytest.fixture(scope="module")
+def dataset() -> OpenWorldDataset:
+    config = SBMConfig(num_nodes=240, num_classes=4, avg_degree=8.0,
+                       homophily=0.9, feature_dim=12, feature_sparsity=0.0,
+                       feature_noise=0.3)
+    graph = generate_sbm_graph(config, seed=5, name="stream-sbm")
+    split = make_open_world_split(graph, seen_fraction=0.5,
+                                  labels_per_class=10, seed=5)
+    return OpenWorldDataset(graph=graph, split=split, name="stream-sbm")
+
+
+class TestStructure:
+    def test_every_node_appears_exactly_once(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=5, seed=0)
+        assert scenario.total_nodes == dataset.graph.num_nodes
+        ids = [scenario.base.graph.num_nodes + i
+               for i in range(scenario.total_nodes - scenario.base.graph.num_nodes)]
+        streamed = np.concatenate([e.node_ids for e in scenario.events])
+        np.testing.assert_array_equal(np.sort(streamed), ids)
+
+    def test_replay_reconstructs_full_graph(self, dataset):
+        """Base + all deltas must equal the original graph up to relabeling."""
+        scenario = make_stream_scenario(dataset, num_steps=4, seed=1)
+        graph = scenario.base.graph.copy()
+        for event in scenario.events:
+            graph.apply_delta(event.delta)
+        assert graph.num_nodes == dataset.graph.num_nodes
+        assert graph.num_edges == dataset.graph.num_edges
+        # Label multiset is preserved under the stream-id permutation.
+        np.testing.assert_array_equal(np.sort(graph.labels),
+                                      np.sort(dataset.graph.labels))
+        # Degree multiset too (edges were only relabeled, never dropped).
+        deg = np.bincount(graph.edge_index[0], minlength=graph.num_nodes)
+        ref = np.bincount(dataset.graph.edge_index[0],
+                          minlength=dataset.graph.num_nodes)
+        np.testing.assert_array_equal(np.sort(deg), np.sort(ref))
+
+    def test_deltas_are_symmetric(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=4, seed=2)
+        for event in scenario.events:
+            if event.delta.num_new_edges:
+                check_symmetric_edges(event.delta.add_edges)
+
+    def test_withheld_class_absent_from_base_until_entry_step(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=6, entry_step=3,
+                                        seed=0)
+        withheld = scenario.withheld_classes
+        assert not np.isin(scenario.base.graph.labels, withheld).any()
+        for event in scenario.events:
+            if event.step < 3:
+                assert not np.isin(event.labels, withheld).any()
+        assert scenario.first_withheld_step() == 3
+        # The withheld class is gone from the base split's novel classes.
+        assert not np.isin(withheld, scenario.base.split.novel_classes).any()
+
+    def test_train_val_nodes_stay_in_base(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=5, seed=3)
+        base = scenario.base
+        labels = base.graph.labels
+        np.testing.assert_array_equal(
+            labels[base.split.train_nodes],
+            dataset.graph.labels[dataset.split.train_nodes])
+        assert base.split.train_nodes.max() < base.graph.num_nodes
+        assert base.split.val_nodes.max() < base.graph.num_nodes
+
+    def test_reveal_only_marks_seen_class_arrivals(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=5,
+                                        reveal_fraction=1.0, seed=0)
+        seen = dataset.split.seen_classes
+        for event in scenario.events:
+            seen_mask = np.isin(event.labels, seen)
+            np.testing.assert_array_equal(event.revealed, seen_mask)
+
+    def test_arrival_labels_match_delta_labels(self, dataset):
+        scenario = make_stream_scenario(dataset, num_steps=4, seed=0)
+        for event in scenario.events:
+            np.testing.assert_array_equal(event.labels, event.delta.add_labels)
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_scenario(self, dataset):
+        a = make_stream_scenario(dataset, num_steps=5, seed=9)
+        b = make_stream_scenario(dataset, num_steps=5, seed=9)
+        for ea, eb in zip(a.events, b.events):
+            np.testing.assert_array_equal(ea.node_ids, eb.node_ids)
+            np.testing.assert_array_equal(ea.delta.add_edges, eb.delta.add_edges)
+            np.testing.assert_array_equal(ea.revealed, eb.revealed)
+
+    def test_different_seed_different_stream(self, dataset):
+        a = make_stream_scenario(dataset, num_steps=5, seed=0)
+        b = make_stream_scenario(dataset, num_steps=5, seed=1)
+        # Stream ids are consecutive by construction; the *content* differs.
+        assert any(
+            ea.delta.add_features.shape != eb.delta.add_features.shape
+            or not np.array_equal(ea.delta.add_features, eb.delta.add_features)
+            for ea, eb in zip(a.events, b.events))
+
+    def test_cannot_withhold_every_novel_class(self, dataset):
+        with pytest.raises(ValueError, match="at least one novel class"):
+            make_stream_scenario(
+                dataset, withheld_classes=dataset.split.novel_classes)
+
+    def test_withheld_must_be_novel(self, dataset):
+        seen = int(dataset.split.seen_classes[0])
+        with pytest.raises(ValueError, match="must all be novel"):
+            make_stream_scenario(dataset, withheld_classes=[seen])
+
+    def test_parameter_validation(self, dataset):
+        with pytest.raises(ValueError, match="num_steps"):
+            make_stream_scenario(dataset, num_steps=0)
+        with pytest.raises(ValueError, match="base_fraction"):
+            make_stream_scenario(dataset, base_fraction=1.0)
+        with pytest.raises(ValueError, match="entry_step"):
+            make_stream_scenario(dataset, num_steps=4, entry_step=4)
+        with pytest.raises(ValueError, match="reveal_fraction"):
+            make_stream_scenario(dataset, reveal_fraction=1.5)
+
+    def test_describe_round_trips_to_json(self, dataset):
+        import json
+
+        scenario = make_stream_scenario(dataset, num_steps=3, seed=0)
+        payload = json.loads(json.dumps(scenario.describe()))
+        assert payload["num_steps"] == 3
+        assert payload["total_nodes"] == dataset.graph.num_nodes
