@@ -45,7 +45,7 @@ def test_table6_unknown_number_of_novel_classes(benchmark):
     save_report("table6_unknown_novel", full_report)
     print("\n" + full_report)
 
-    for dataset, estimate in result["estimates"].items():
+    for _dataset, estimate in result["estimates"].items():
         assert 1 <= estimate <= MAX_NOVEL
 
     results = result["results"]

@@ -1,0 +1,8 @@
+"""Repo-root conftest: loads the sanitizer pytest plugin.
+
+``pytest_plugins`` must live in the rootdir conftest (pytest refuses it in
+nested ones).  The plugin is inert unless ``REPRO_SANITIZE=1`` is set or
+``--sanitize`` is passed — see ``repro.analysis.pytest_plugin``.
+"""
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

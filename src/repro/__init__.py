@@ -23,6 +23,9 @@ organised as:
 * :mod:`repro.experiments` — runners and builders for every table and figure.
 * :mod:`repro.api` — estimator-style facade (``OpenWorldClassifier``) with
   versioned save/load checkpoints and resumable training.
+* :mod:`repro.analysis` — invariant linter (``repro lint``, rules R1-R8)
+  and opt-in runtime sanitizers (``REPRO_SANITIZE=1``) for the
+  concurrency/determinism/cache contracts.
 
 Quickstart::
 
@@ -34,6 +37,7 @@ Quickstart::
 """
 
 from . import (
+    analysis,
     api,
     assignment,
     baselines,
@@ -55,6 +59,7 @@ from .datasets import load_open_world_dataset
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "api",
     "nn",
     "graphs",

@@ -1,0 +1,281 @@
+"""Pluggable AST-based static analysis for the repo's hand-enforced contracts.
+
+The serving/streaming stack built in PRs 1-7 rests on invariants that the
+type system cannot see: frozen cached arrays, lock-guarded attributes,
+seeded RNG flow, version-bumped parameter rebinding, serializable configs.
+Three of those contracts were violated and only caught after the fact (the
+PR 6 bugfix sweep).  This module machine-checks them on every commit.
+
+Architecture
+------------
+* :class:`Finding` — one diagnostic: path, 1-based line, 0-based column,
+  rule id, message.
+* :class:`Rule` — base class; subclasses implement :meth:`Rule.check`
+  against a :class:`FileContext` (source + AST + comment/suppression maps).
+* :class:`RuleRegistry` / :func:`register_rule` — decorator-based rule
+  registration, mirroring :mod:`repro.core.registry`.
+* :class:`Analyzer` — file discovery, per-file rule dispatch, suppression
+  filtering.
+
+Suppressions
+------------
+``# repro-lint: disable=R1,R3`` on a line suppresses those rules for that
+line; ``# repro-lint: disable`` suppresses every rule on the line.  A line
+containing ``# repro-lint: skip-file`` anywhere in the file skips the whole
+file.  The quarantined seeded-violation package
+(``repro/analysis/violations``) is excluded by default so ``repro lint src/``
+stays clean while the sanitizer demos keep their deliberate bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+#: Matches an inline suppression comment; group 1 is the rule list (or None
+#: for a blanket per-line suppression).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable(?:=([A-Za-z0-9_,\s-]+))?")
+_SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
+
+#: Paths matched against these glob fragments are skipped by default.  The
+#: violations package is intentionally broken (sanitizer demos).
+DEFAULT_EXCLUDES = ("*/analysis/violations/*",)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+class FileContext:
+    """Parsed source plus the comment/suppression metadata rules need."""
+
+    def __init__(self, path: PurePath, source: str):
+        self.path = PurePath(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.module = self._derive_module()
+        self._suppressions = self._parse_suppressions()
+        self.skip_file = any(_SKIP_FILE_RE.search(line) for line in self.lines[:10])
+
+    # -- identity ------------------------------------------------------
+    def _derive_module(self) -> str:
+        """Dotted module path, anchored at the ``repro`` package when present.
+
+        Rules use this for scoping (e.g. R6 allowlists ``repro.serve``).
+        Files outside a ``repro`` directory get their bare stem, so fixture
+        files are in scope for every unscoped rule.
+        """
+        parts = list(self.path.parts)
+        stem = self.path.name[:-3] if self.path.name.endswith(".py") else self.path.name
+        if "repro" in parts[:-1]:
+            anchor = len(parts) - 1 - parts[:-1][::-1].index("repro") - 1
+            pieces = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+            return ".".join(pieces)
+        return stem
+
+    # -- comments ------------------------------------------------------
+    def line_comment(self, lineno: int) -> str:
+        """The comment text (after ``#``) on 1-based line ``lineno``, or ``""``.
+
+        Uses a naive rightmost-``#`` split, which is exact for the annotation
+        comments this analyzer defines (they never appear inside strings).
+        """
+        if not 1 <= lineno <= len(self.lines):
+            return ""
+        line = self.lines[lineno - 1]
+        if "#" not in line:
+            return ""
+        return line[line.index("#"):]
+
+    # -- suppressions --------------------------------------------------
+    def _parse_suppressions(self) -> Dict[int, Optional[Set[str]]]:
+        out: Dict[int, Optional[Set[str]]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if not match:
+                continue
+            if match.group(1) is None:
+                out[number] = None  # blanket: every rule
+            else:
+                out[number] = {token.strip() for token in match.group(1).split(",")
+                               if token.strip()}
+        return out
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        if lineno not in self._suppressions:
+            return False
+        rules = self._suppressions[lineno]
+        return rules is None or rule_id in rules
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Attributes
+    ----------
+    id:
+        Short stable identifier (``R1``..``R8``) used in output and
+        suppression comments.
+    name:
+        Kebab-case slug shown by ``--list-rules``.
+    description:
+        One-line statement of the contract.
+    contract:
+        Which PR established the contract / which bug motivated the rule.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    contract: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(path=str(ctx.path), line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), rule=self.id,
+                       message=message)
+
+    def finding_at(self, ctx: FileContext, line: int, col: int, message: str) -> Finding:
+        return Finding(path=str(ctx.path), line=line, col=col, rule=self.id,
+                       message=message)
+
+
+class RuleRegistry:
+    """Id -> rule-class mapping with decorator registration."""
+
+    def __init__(self):
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def register(self, rule_cls: Type[Rule]) -> Type[Rule]:
+        if not rule_cls.id:
+            raise ValueError(f"rule {rule_cls.__name__} has no id")
+        if rule_cls.id in self._rules:
+            raise ValueError(f"rule id {rule_cls.id!r} already registered "
+                             f"({self._rules[rule_cls.id].__name__})")
+        self._rules[rule_cls.id] = rule_cls
+        return rule_cls
+
+    def ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def get(self, rule_id: str) -> Type[Rule]:
+        if rule_id not in self._rules:
+            raise KeyError(f"unknown rule {rule_id!r}; available: {self.ids()}")
+        return self._rules[rule_id]
+
+    def create(self, ids: Optional[Iterable[str]] = None) -> List[Rule]:
+        selected = self.ids() if ids is None else list(ids)
+        return [self.get(rule_id)() for rule_id in selected]
+
+
+#: The process-wide registry every built-in rule registers into.
+DEFAULT_RULES = RuleRegistry()
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a rule in :data:`DEFAULT_RULES`."""
+    return DEFAULT_RULES.register(rule_cls)
+
+
+class Analyzer:
+    """Runs a set of rules over files, directories, or raw source."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 excludes: Sequence[str] = DEFAULT_EXCLUDES):
+        if rules is None:
+            # Imported here so `import framework` alone never pulls rules in,
+            # keeping the registry overridable in tests.
+            from . import rules as _builtin  # noqa: F401  (registration side effect)
+            rules = DEFAULT_RULES.create()
+        self.rules = list(rules)
+        self.excludes = tuple(excludes)
+
+    # -- discovery -----------------------------------------------------
+    def _excluded(self, path: PurePath) -> bool:
+        text = path.as_posix()
+        return any(PurePath(text).match(pattern) or
+                   re.fullmatch(_glob_to_re(pattern), text)
+                   for pattern in self.excludes)
+
+    def discover(self, paths: Iterable[str]) -> List[Path]:
+        """Expand files/directories into a sorted, de-duplicated file list."""
+        found: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                found.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                found.append(path)
+            else:
+                raise FileNotFoundError(f"no python file or directory at {raw!r}")
+        unique: List[Path] = []
+        seen = set()
+        for path in found:
+            if path in seen or self._excluded(path):
+                continue
+            seen.add(path)
+            unique.append(path)
+        return unique
+
+    # -- checking ------------------------------------------------------
+    def check_source(self, source: str, path: Optional[PurePath] = None,
+                     ) -> List[Finding]:
+        """Check raw source as if it lived at ``path`` (used by fixtures)."""
+        if path is None:
+            path = PurePath("<string>")
+        try:
+            ctx = FileContext(path, source)
+        except SyntaxError as exc:
+            return [Finding(path=str(path), line=exc.lineno or 1,
+                            col=(exc.offset or 1) - 1, rule="E999",
+                            message=f"syntax error: {exc.msg}")]
+        if ctx.skip_file:
+            return []
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+        return sorted(findings)
+
+    def check_file(self, path: Path) -> List[Finding]:
+        return self.check_source(path.read_text(encoding="utf-8"), PurePath(path))
+
+    def run(self, paths: Iterable[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in self.discover(paths):
+            findings.extend(self.check_file(path))
+        return sorted(findings)
+
+
+def _glob_to_re(pattern: str) -> str:
+    """``*``-only glob to regex where ``*`` crosses ``/`` (rglob-style)."""
+    return ".*".join(re.escape(part) for part in pattern.split("*"))
+
+
+def run_lint(paths: Iterable[str], rules: Optional[Iterable[str]] = None,
+             excludes: Sequence[str] = DEFAULT_EXCLUDES) -> List[Finding]:
+    """Convenience entry point: lint ``paths`` with the given rule ids."""
+    from . import rules as _builtin  # noqa: F401  (registration side effect)
+    analyzer = Analyzer(rules=DEFAULT_RULES.create(rules), excludes=excludes)
+    return analyzer.run(paths)

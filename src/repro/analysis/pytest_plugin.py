@@ -1,0 +1,60 @@
+"""Pytest integration for the runtime sanitizers.
+
+Declared via ``pytest_plugins`` in the repo-root ``conftest.py``.  Two ways
+to turn the sanitizers on:
+
+* ``REPRO_SANITIZE=1 pytest ...`` — the CI sanitizer job uses this.
+* ``pytest --sanitize ...`` — local opt-in without touching the env.
+
+When enabled, :func:`repro.analysis.sanitizers.install` runs before
+collection (so every ``threading.Lock`` created by repro modules during the
+session is instrumented), the lock-order edge graph is reset before each
+test (edges learned by one test must not convict an unrelated test that
+merely uses a different-but-consistent order), and everything is restored at
+session end.
+"""
+
+from __future__ import annotations
+
+from . import sanitizers
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="install the repro runtime sanitizers (lock order, "
+             "write-after-freeze, global RNG); same as REPRO_SANITIZE=1")
+
+
+def _wanted(config) -> bool:
+    return bool(config.getoption("--sanitize")) or sanitizers.enabled_from_env()
+
+
+def pytest_configure(config):
+    # Only claim ownership when this configure call actually installed:
+    # a nested configure (e.g. plugin tests constructing their own config
+    # objects) must not tear down a session-level install on unconfigure.
+    config._repro_sanitize_installed = False
+    if _wanted(config) and not sanitizers.is_installed():
+        sanitizers.install()
+        config._repro_sanitize_installed = True
+
+
+def pytest_unconfigure(config):
+    if getattr(config, "_repro_sanitize_installed", False):
+        sanitizers.uninstall()
+        config._repro_sanitize_installed = False
+
+
+def pytest_runtest_setup(item):
+    # Per-test isolation for the order graph: edges are a property of the
+    # code paths a single test exercises, and cross-test accumulation would
+    # make failures depend on execution order.
+    sanitizers.reset_lock_order()
+
+
+def pytest_report_header(config):
+    if getattr(config, "_repro_sanitize_installed", False):
+        return "repro sanitizers: lock-order, write-after-freeze, global-rng"
+    return None

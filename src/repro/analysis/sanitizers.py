@@ -1,0 +1,374 @@
+"""Opt-in runtime sanitizers for the concurrency/determinism/cache contracts.
+
+The static rules in :mod:`repro.analysis.rules` catch what is visible in the
+AST; these sanitizers catch what is only visible at runtime.  They are off
+by default and enabled by ``REPRO_SANITIZE=1`` (or the pytest ``--sanitize``
+flag, see :mod:`repro.analysis.pytest_plugin`):
+
+* **Lock-order recorder** — every ``threading.Lock`` created by a
+  ``repro.*`` module is wrapped; per-thread acquisition stacks feed a global
+  ordering graph, and acquiring B while holding A when the reverse edge was
+  ever observed raises :class:`LockOrderViolation` (a deadlock that has not
+  happened *yet*).
+* **Write-after-freeze tripwire** — :class:`~repro.inference.EmbeddingCache`
+  ``store``/``stale_entry``/``lookup`` are wrapped so published arrays are
+  guard views: ``setflags(write=True)`` on them raises
+  :class:`WriteAfterFreezeError` instead of silently un-freezing shared
+  state, and ``store(copy=True)`` freezing the *caller's* array in place
+  (the PR 6 aliasing bug) is detected the moment it happens.
+* **Global-RNG tripwire** — the module-level ``np.random.<fn>`` functions
+  are wrapped; a call whose caller is a ``repro.*`` module raises
+  :class:`GlobalRNGViolation` (the runtime twin of static rule R1).
+
+All sanitizer errors subclass :class:`SanitizerError` (an
+``AssertionError``), so a sanitized test run fails loudly.  ``install()`` /
+``uninstall()`` are idempotent and restore every patched attribute.
+
+The seeded-violation demos in :mod:`repro.analysis.violations` exist to
+prove each tripwire actually fires; they are quarantined from ``repro
+lint`` and asserted in ``tests/analysis/test_sanitizers.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Locks created from modules with these name prefixes are order-tracked.
+WATCHED_MODULE_PREFIXES = ("repro",)
+
+#: np.random attributes wrapped by the global-RNG tripwire (those that read
+#: or advance the hidden global BitGenerator state).
+GLOBAL_RNG_FUNCTIONS = (
+    "seed", "set_state", "random", "random_sample", "ranf", "sample",
+    "rand", "randn", "randint", "random_integers", "bytes",
+    "choice", "shuffle", "permutation",
+    "normal", "standard_normal", "uniform", "binomial", "poisson",
+    "beta", "gamma", "exponential", "laplace", "logistic", "lognormal",
+    "multinomial", "multivariate_normal", "pareto", "power",
+)
+
+# The real factory, captured before any patching so the sanitizer's own
+# bookkeeping never recurses through the instrumented wrapper.
+_REAL_LOCK = threading.Lock
+
+
+class SanitizerError(AssertionError):
+    """Base class for every runtime-sanitizer failure."""
+
+
+class LockOrderViolation(SanitizerError):
+    """Two locks were acquired in both orders (deadlock waiting to happen)."""
+
+
+class WriteAfterFreezeError(SanitizerError):
+    """A frozen cached array was (or would be) made writable."""
+
+
+class GlobalRNGViolation(SanitizerError):
+    """repro code advanced numpy's hidden global RNG state."""
+
+
+def enabled_from_env() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitized execution."""
+    return os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0", "false")
+
+
+# ----------------------------------------------------------------------
+# Lock-order recorder
+# ----------------------------------------------------------------------
+class LockOrderRecorder:
+    """Global acquisition-order graph over watched lock creation sites.
+
+    Locks are identified by creation site (``module:lineno``), not instance:
+    the ordering discipline that prevents deadlock is a property of the
+    code, and site-level edges let one thread's history convict another
+    thread's inversion without the two ever racing for real.
+    """
+
+    def __init__(self):
+        self._mutex = _REAL_LOCK()
+        #: (first_tag, then_tag) -> thread name that recorded the edge.
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._held = threading.local()
+
+    def _stack(self) -> List[str]:
+        if not hasattr(self._held, "stack"):
+            self._held.stack = []
+        return self._held.stack
+
+    def reset(self) -> None:
+        """Forget all recorded edges (the pytest plugin calls this per test)."""
+        with self._mutex:
+            self._edges.clear()
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        with self._mutex:
+            return dict(self._edges)
+
+    def on_acquired(self, tag: str) -> None:
+        """Record that the current thread now holds ``tag``; raise on inversion."""
+        stack = self._stack()
+        with self._mutex:
+            for prior in stack:
+                if prior == tag:
+                    continue  # same creation site (distinct instances): skip
+                reverse = self._edges.get((tag, prior))
+                if reverse is not None:
+                    raise LockOrderViolation(
+                        f"lock-order inversion: thread "
+                        f"{threading.current_thread().name!r} acquired "
+                        f"{tag!r} while holding {prior!r}, but thread "
+                        f"{reverse!r} previously acquired them in the "
+                        f"opposite order ({tag!r} before {prior!r}); one "
+                        f"consistent order must be chosen")
+                self._edges.setdefault((prior, tag),
+                                       threading.current_thread().name)
+        stack.append(tag)
+
+    def on_released(self, tag: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == tag:
+                del stack[index]
+                return
+
+
+class _InstrumentedLock:
+    """Drop-in ``threading.Lock`` wrapper feeding the order recorder.
+
+    Supports the full lock protocol (``acquire``/``release``/``locked``/
+    context manager) and deliberately does *not* expose ``_release_save`` /
+    ``_acquire_restore``, so ``threading.Condition`` wraps it with its
+    default delegation — ``wait()`` then routes through our ``release`` /
+    ``acquire`` and the held-stack stays truthful across waits.
+    """
+
+    __slots__ = ("_inner", "_tag", "_watched", "_recorder")
+
+    def __init__(self, inner, tag: str, watched: bool,
+                 recorder: LockOrderRecorder):
+        self._inner = inner
+        self._tag = tag
+        self._watched = watched
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired and self._watched:
+            try:
+                self._recorder.on_acquired(self._tag)
+            except LockOrderViolation:
+                # Do not leave the lock held behind a failing check: release
+                # so the raising test cannot deadlock its teardown.
+                self._inner.release()
+                raise
+        return acquired
+
+    def release(self) -> None:
+        if self._watched:
+            self._recorder.on_released(self._tag)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<InstrumentedLock {self._tag} {state}>"
+
+
+def _creator_site() -> Tuple[str, bool]:
+    """Creation-site tag for a new lock plus whether it is watched."""
+    frame = sys._getframe(2)
+    module = frame.f_globals.get("__name__", "?")
+    tag = f"{module}:{frame.f_lineno}"
+    watched = module.startswith(WATCHED_MODULE_PREFIXES)
+    return tag, watched
+
+
+# ----------------------------------------------------------------------
+# Write-after-freeze tripwire
+# ----------------------------------------------------------------------
+class GuardedArray(np.ndarray):
+    """ndarray view that refuses to be thawed once published by the cache.
+
+    Only views explicitly marked by the sanitizer carry the guard; copies
+    and derived arrays (``__array_finalize__``) start unguarded, so
+    ``frozen.copy()`` stays a legitimate mutable escape hatch.
+    """
+
+    def __array_finalize__(self, obj):
+        self._repro_cache_guard = False
+
+    def setflags(self, write=None, align=None, uic=None):
+        if write and getattr(self, "_repro_cache_guard", False):
+            raise WriteAfterFreezeError(
+                "setflags(write=True) on an array published by the "
+                "embedding cache: every concurrent reader shares this "
+                "buffer; .copy() it instead")
+        kwargs = {}
+        if write is not None:
+            kwargs["write"] = write
+        if align is not None:
+            kwargs["align"] = align
+        if uic is not None:
+            kwargs["uic"] = uic
+        np.ndarray.setflags(self, **kwargs)
+
+
+def _guard_view(array: np.ndarray) -> np.ndarray:
+    view = array.view(GuardedArray)
+    view._repro_cache_guard = True
+    return view
+
+
+# ----------------------------------------------------------------------
+# Installation
+# ----------------------------------------------------------------------
+class _SanitizerState:
+    """Originals saved by ``install`` so ``uninstall`` is exact."""
+
+    def __init__(self):
+        self.installed = False
+        self.recorder: Optional[LockOrderRecorder] = None
+        self.saved_lock = None
+        self.saved_cache: Dict[str, object] = {}
+        self.saved_np_random: Dict[str, object] = {}
+
+
+_STATE = _SanitizerState()
+
+
+def is_installed() -> bool:
+    return _STATE.installed
+
+
+def lock_order_recorder() -> Optional[LockOrderRecorder]:
+    """The active recorder (``None`` when sanitizers are not installed)."""
+    return _STATE.recorder
+
+
+def reset_lock_order() -> None:
+    """Clear recorded edges; no-op when not installed."""
+    if _STATE.recorder is not None:
+        _STATE.recorder.reset()
+
+
+def _install_lock_order() -> None:
+    recorder = LockOrderRecorder()
+    _STATE.recorder = recorder
+    _STATE.saved_lock = threading.Lock
+
+    def make_lock():
+        tag, watched = _creator_site()
+        return _InstrumentedLock(_REAL_LOCK(), tag, watched, recorder)
+
+    threading.Lock = make_lock
+
+
+def _install_frozen_cache() -> None:
+    from ..inference.cache import EmbeddingCache
+
+    _STATE.saved_cache = {
+        "store": EmbeddingCache.store,
+    }
+    orig_store = EmbeddingCache.store
+
+    @functools.wraps(orig_store)
+    def store(self, encoder, graph, embeddings, *, copy=True):
+        caller_array = embeddings if isinstance(embeddings, np.ndarray) else None
+        caller_writable = (bool(caller_array.flags.writeable)
+                          if caller_array is not None else False)
+        out = orig_store(self, encoder, graph, embeddings, copy=copy)
+        if (copy and caller_array is not None and caller_writable
+                and not caller_array.flags.writeable):
+            raise WriteAfterFreezeError(
+                "EmbeddingCache.store(copy=True) froze the caller's array "
+                "in place (the PR 6 aliasing regression): the cache must "
+                "copy before setflags(write=False)")
+        if out is caller_array or isinstance(out, GuardedArray):
+            # No-copy handover (copy=False, or an already-frozen input) and
+            # re-key paths must preserve the caller's object identity —
+            # callers assert ``store(...) is owned`` on those contracts.
+            return out
+        guard = _guard_view(out)
+        # Swap the guard into the live entry so lookup()/stale_entry()
+        # return the *same object* store returned — the serving layer's
+        # snapshot-currency check compares identities, so lookup must keep
+        # handing out this exact guard, not fresh views.
+        with self._lock:
+            entry = self._entry
+            if entry is not None and entry[3] is out:
+                self._entry = entry[:3] + (guard,)
+        return guard
+
+    EmbeddingCache.store = store
+
+
+def _install_global_rng() -> None:
+    for name in GLOBAL_RNG_FUNCTIONS:
+        orig = getattr(np.random, name, None)
+        if orig is None or not callable(orig):
+            continue
+        _STATE.saved_np_random[name] = orig
+
+        def make_guard(fn_name, fn):
+            @functools.wraps(fn)
+            def guard(*args, **kwargs):
+                caller = sys._getframe(1).f_globals.get("__name__", "")
+                if caller.startswith(WATCHED_MODULE_PREFIXES):
+                    raise GlobalRNGViolation(
+                        f"np.random.{fn_name} called from {caller}: "
+                        f"module-level RNG state is forbidden in src/repro "
+                        f"(static rule R1); use np.random.default_rng(seed) "
+                        f"or an injected Generator")
+                return fn(*args, **kwargs)
+            return guard
+
+        setattr(np.random, name, make_guard(name, orig))
+
+
+def install(lock_order: bool = True, frozen_cache: bool = True,
+            global_rng: bool = True) -> None:
+    """Install the selected sanitizers (idempotent)."""
+    if _STATE.installed:
+        return
+    if lock_order:
+        _install_lock_order()
+    if frozen_cache:
+        _install_frozen_cache()
+    if global_rng:
+        _install_global_rng()
+    _STATE.installed = True
+
+
+def uninstall() -> None:
+    """Restore every patched attribute (idempotent)."""
+    if not _STATE.installed:
+        return
+    if _STATE.saved_lock is not None:
+        threading.Lock = _STATE.saved_lock
+        _STATE.saved_lock = None
+    if _STATE.saved_cache:
+        from ..inference.cache import EmbeddingCache
+
+        for name, orig in _STATE.saved_cache.items():
+            setattr(EmbeddingCache, name, orig)
+        _STATE.saved_cache = {}
+    for name, orig in _STATE.saved_np_random.items():
+        setattr(np.random, name, orig)
+    _STATE.saved_np_random = {}
+    _STATE.recorder = None
+    _STATE.installed = False

@@ -1,0 +1,80 @@
+# repro-lint: skip-file  (deliberate violation: sanitizer demo)
+"""Seeded write-after-freeze violations for the cache tripwire demo."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def provoke_write_after_freeze(cache, encoder, graph,
+                               embeddings: np.ndarray) -> np.ndarray:
+    """Store an array, then try to thaw the published result and write to it.
+
+    With the frozen-cache sanitizer installed, ``setflags(write=True)`` on
+    the guard view raises
+    :class:`~repro.analysis.sanitizers.WriteAfterFreezeError`; without it,
+    the thaw silently succeeds and the write corrupts every concurrent
+    reader of the cached entry.
+    """
+    published = cache.store(encoder, graph, embeddings)
+    published.setflags(write=True)  # tripwire fires here when installed
+    published[0] = -1.0
+    return published
+
+
+def provoke_store_input_freeze(cache, encoder, graph,
+                               embeddings: np.ndarray) -> np.ndarray:
+    """Replay the PR 6 aliasing bug: freeze the caller's array in place.
+
+    Mimics the pre-fix ``EmbeddingCache.store`` by freezing ``embeddings``
+    itself before handing it to the cache.  The sanitizer's wrapped
+    ``store`` sees a writable caller array turn non-writable across a
+    ``copy=True`` call and raises
+    :class:`~repro.analysis.sanitizers.WriteAfterFreezeError`.
+    """
+    def buggy_store(self, encoder, graph, value, *, copy=True):
+        value = np.asarray(value)
+        value.setflags(write=False)  # the bug: freezes the caller's buffer
+        import weakref
+
+        from repro.inference.cache import ParamVersion
+        entry = (ParamVersion(encoder), weakref.ref(graph),
+                 getattr(graph, "cache_version", 0), value)
+        with self._lock:
+            self._entry = entry
+        return value
+
+    # Call through the (possibly sanitizer-wrapped) bound store with the
+    # buggy implementation swapped in underneath, exactly how the PR 6
+    # regression would reappear.
+    original = type(cache).store
+    inner = getattr(original, "__wrapped__", None)
+    if inner is None:
+        # Sanitizer not installed: the buggy store runs unchecked.
+        return buggy_store(cache, encoder, graph, embeddings)
+    try:
+        type(cache).store = _wrap_like(original, buggy_store)
+        return cache.store(encoder, graph, embeddings)
+    finally:
+        type(cache).store = original
+
+
+def _wrap_like(wrapped_store, buggy_store):
+    """Rebuild the sanitizer wrapper around the buggy store implementation."""
+    import functools
+
+    from repro.analysis import sanitizers
+
+    @functools.wraps(buggy_store)
+    def store(self, encoder, graph, embeddings, *, copy=True):
+        caller = embeddings if isinstance(embeddings, np.ndarray) else None
+        writable = bool(caller.flags.writeable) if caller is not None else False
+        out = buggy_store(self, encoder, graph, embeddings, copy=copy)
+        if (copy and caller is not None and writable
+                and not caller.flags.writeable):
+            raise sanitizers.WriteAfterFreezeError(
+                "EmbeddingCache.store(copy=True) froze the caller's array "
+                "in place (the PR 6 aliasing regression)")
+        return out
+
+    return store

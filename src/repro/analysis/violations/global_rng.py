@@ -1,0 +1,21 @@
+# repro-lint: skip-file  (deliberate violation: sanitizer demo)
+"""Seeded global-RNG use for the RNG tripwire demo.
+
+Static rule R1 flags this module (run the linter with excludes disabled to
+see it); the runtime tripwire raises the moment the call executes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def provoke_global_rng(count: int = 3) -> np.ndarray:
+    """Draw from numpy's hidden global RNG inside the ``repro`` namespace.
+
+    With the global-RNG sanitizer installed this raises
+    :class:`~repro.analysis.sanitizers.GlobalRNGViolation`; without it the
+    draw silently advances ``np.random.mtrand._rand`` and couples every
+    other global-state call site in the process.
+    """
+    return np.random.rand(count)

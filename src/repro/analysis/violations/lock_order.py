@@ -1,0 +1,40 @@
+# repro-lint: skip-file  (deliberate violation: sanitizer demo)
+"""Seeded lock-order inversion for the lock-order sanitizer demo."""
+
+from __future__ import annotations
+
+import threading
+
+
+def provoke_lock_order_inversion() -> None:
+    """Acquire two locks in both orders.
+
+    With the lock-order sanitizer installed this raises
+    :class:`~repro.analysis.sanitizers.LockOrderViolation` on the second
+    nesting: the first ``a -> b`` nesting records the edge, and the later
+    ``b -> a`` nesting is the inversion — the classic two-thread deadlock,
+    convicted from a single thread before it can ever hang.
+    """
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with lock_a:  # inversion: b held while taking a
+            pass
+
+
+def consistent_nesting(repeats: int = 2) -> None:
+    """The lawful counterpart: always a -> b.  Never trips the sanitizer.
+
+    Lives here (inside the ``repro`` namespace) so the locks are *watched* —
+    tests use it to prove the recorder observes edges without convicting a
+    consistent discipline.
+    """
+    lock_a = threading.Lock()
+    lock_b = threading.Lock()
+    for _ in range(repeats):
+        with lock_a:
+            with lock_b:
+                pass

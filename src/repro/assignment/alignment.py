@@ -89,7 +89,7 @@ def align_clusters_to_classes(
     rows, cols = max_profit_assignment(counts.astype(np.float64))
     mapping: Dict[int, int] = {}
     matched = []
-    for cluster, class_pos in zip(rows, cols):
+    for cluster, class_pos in zip(rows, cols, strict=True):
         mapping[int(cluster)] = int(known_classes[class_pos])
         matched.append(int(cluster))
     matched = np.asarray(sorted(matched), dtype=np.int64)
@@ -110,10 +110,10 @@ def hungarian_accuracy_mapping(predictions: np.ndarray, targets: np.ndarray) -> 
     pred_index = {p: i for i, p in enumerate(pred_ids)}
     target_index = {t: i for i, t in enumerate(target_ids)}
     counts = np.zeros((pred_ids.shape[0], target_ids.shape[0]), dtype=np.float64)
-    for p, t in zip(predictions, targets):
+    for p, t in zip(predictions, targets, strict=True):
         counts[pred_index[p], target_index[t]] += 1
     rows, cols = max_profit_assignment(counts)
-    return {int(pred_ids[r]): int(target_ids[c]) for r, c in zip(rows, cols)}
+    return {int(pred_ids[r]): int(target_ids[c]) for r, c in zip(rows, cols, strict=True)}
 
 
 def clustering_accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:

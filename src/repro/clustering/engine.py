@@ -147,7 +147,7 @@ class ClusteringEngine:
         return bool(self.config.warm_start) or self.config.strategy == "online"
 
     @property
-    def centers(self) -> Optional[np.ndarray]:
+    def centers(self) -> Optional[np.ndarray]:  # returns-frozen
         """The carried centroids (read-only view), or ``None``.
 
         The view is non-writeable so a caller cannot silently corrupt the

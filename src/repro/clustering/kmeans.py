@@ -182,8 +182,8 @@ class KMeans:
 
     def _lloyd(self, data: np.ndarray, centers: np.ndarray) -> KMeansResult:
         labels = np.zeros(data.shape[0], dtype=np.int64)
-        iteration = 0
-        for iteration in range(1, self.max_iter + 1):
+        _iteration = 0
+        for _iteration in range(1, self.max_iter + 1):
             labels, min_sq = _assign_labels(data, centers, self.chunk_size)
             sums, counts = _cluster_sums(data, labels, self.num_clusters)
             new_centers = centers.copy()
@@ -198,7 +198,7 @@ class KMeans:
                 break
         labels, min_sq = _assign_labels(data, centers, self.chunk_size)
         inertia = float(min_sq.sum())
-        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=_iteration)
 
 
 class MiniBatchKMeans:
@@ -225,8 +225,8 @@ class MiniBatchKMeans:
         else:
             centers = kmeans_plus_plus_init(data, self.num_clusters, rng)
         counts = np.zeros(self.num_clusters)
-        iteration = 0
-        for iteration in range(1, self.max_iter + 1):
+        _iteration = 0
+        for _iteration in range(1, self.max_iter + 1):
             batch_idx = rng.choice(data.shape[0], size=min(self.batch_size, data.shape[0]),
                                    replace=False)
             batch = data[batch_idx]
@@ -234,7 +234,7 @@ class MiniBatchKMeans:
             _sculley_update(centers, counts, batch, assignments, self.num_clusters)
         labels, min_sq = _assign_labels(data, centers, self.chunk_size)
         inertia = float(min_sq.sum())
-        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=_iteration)
 
     def fit_predict(self, data: np.ndarray) -> np.ndarray:
         return self.fit(data).labels

@@ -98,8 +98,8 @@ class SemiSupervisedKMeans:
                 centers[cluster] = members.mean(axis=0)
 
         labels = np.zeros(data.shape[0], dtype=np.int64)
-        iteration = 0
-        for iteration in range(1, self.max_iter + 1):
+        _iteration = 0
+        for _iteration in range(1, self.max_iter + 1):
             labels, min_sq = _assign_labels(data, centers, self.chunk_size)
             labels[labeled_indices] = pinned
             sums, counts = _cluster_sums(data, labels, self.num_clusters)
@@ -128,4 +128,4 @@ class SemiSupervisedKMeans:
                 data[labeled_indices], centers
             )[np.arange(labeled_indices.shape[0]), pinned]
         inertia = float(assigned_sq.sum())
-        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=iteration)
+        return KMeansResult(labels=labels, centers=centers, inertia=inertia, n_iter=_iteration)

@@ -40,6 +40,12 @@ Discover what is available::
     python -m repro.experiments.cli list-methods
     python -m repro.experiments.cli list-datasets
 
+Check the repo's hand-enforced invariants (seeded RNG flow, lock-guarded
+attributes, frozen cached arrays, serializable configs, ...) — exits 1 when
+any rule fires::
+
+    python -m repro.experiments.cli lint src/ --format text
+
 Regenerate Table III on a small budget and save the JSON results::
 
     python -m repro.experiments.cli table3 --scale 0.3 --epochs 8 \
@@ -270,6 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
     list_datasets.add_argument("--output", type=str, default=None,
                                help="optional path for a JSON copy of the listing")
     list_datasets.set_defaults(handler=_handle_list_datasets)
+
+    # -- static analysis ----------------------------------------------
+    from ..analysis.cli import add_lint_options
+
+    lint = subparsers.add_parser(
+        "lint", help="check the repo's invariant rules (R1-R8) over python "
+                     "sources; exits 1 on findings")
+    add_lint_options(lint)
+    lint.set_defaults(handler=_handle_lint)
 
     # -- tables / figures ---------------------------------------------
     for name in sorted(EXPERIMENTS):
@@ -715,6 +730,21 @@ def _handle_list_datasets(args: argparse.Namespace) -> dict:
         for row in rows
     ]
     return {"report": "\n".join(lines), "datasets": rows}
+
+
+def _handle_lint(args: argparse.Namespace) -> dict:
+    from ..analysis.cli import execute
+
+    # The linter prints its own findings and must control the process exit
+    # code (0 clean / 1 findings), so it bypasses the report-dict protocol.
+    try:
+        code = execute(args.paths, rules=args.rules,
+                       output_format=args.format,
+                       list_rules=args.list_rules,
+                       no_default_excludes=args.no_default_excludes)
+    except (ValueError, FileNotFoundError) as exc:
+        raise SystemExit(f"repro lint: error: {exc}") from exc
+    raise SystemExit(code)
 
 
 def _handle_experiment(args: argparse.Namespace) -> dict:

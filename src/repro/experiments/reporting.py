@@ -8,18 +8,18 @@ from typing import Mapping, Sequence
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: str = "") -> str:
     """Render a simple fixed-width text table."""
-    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [
+    columns = [list(map(str, column)) for column in zip(headers, *rows, strict=True)] if rows else [
         [str(h)] for h in headers
     ]
     widths = [max(len(cell) for cell in column) for column in columns]
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True))
     lines.append(header_line)
     lines.append("-" * len(header_line))
     for row in rows:
-        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

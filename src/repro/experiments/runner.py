@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.config import SamplingConfig, TrainerConfig, fast_config
+from ..core.config import (
+    SamplingConfig,
+    SerializableConfig,
+    TrainerConfig,
+    fast_config,
+)
 from ..core.registry import METHODS
 from ..core.trainer import GraphTrainer
 from ..datasets.synthetic import load_open_world_dataset
@@ -98,7 +103,7 @@ def __getattr__(name: str):
 
 
 @dataclass
-class ExperimentConfig:
+class ExperimentConfig(SerializableConfig):
     """Controls the scale of an experiment sweep.
 
     ``scale`` shrinks the dataset profiles, ``max_epochs``/``batch_size``
@@ -121,6 +126,11 @@ class ExperimentConfig:
     backend: str = "sparse"
     eval_every: int = 0
     sampling_mode: str = "full"
+
+    def __post_init__(self) -> None:
+        # JSON round-trips turn the seeds tuple into a list; normalise so
+        # from_json(to_json(cfg)) == cfg holds in the serialization matrix.
+        self.seeds = tuple(int(seed) for seed in self.seeds)
 
     def epochs_for(self, method: str) -> int:
         key = method.lower()

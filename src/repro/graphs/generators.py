@@ -19,12 +19,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.config import SerializableConfig
 from .graph import Graph
 from .utils import remove_self_loops, symmetrize_edges
 
 
 @dataclass(frozen=True)
-class SBMConfig:
+class SBMConfig(SerializableConfig):
     """Configuration for :func:`generate_sbm_graph`.
 
     Attributes

@@ -28,7 +28,7 @@ from .cache import EmbeddingCache, ParamVersion
 from .engine import InferenceEngine
 from .layerwise import DEFAULT_CHUNK_SIZE, LayerwiseInference
 
-from ..core.config import INFERENCE_MODES, InferenceConfig  # noqa: E402
+from ..core.config import INFERENCE_MODES, InferenceConfig  # after-docstring import kept below the lazy-import machinery
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",

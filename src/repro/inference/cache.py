@@ -92,10 +92,10 @@ class EmbeddingCache:
     """
 
     def __init__(self):
-        self._entry: Optional[_CacheEntry] = None
+        self._entry: Optional[_CacheEntry] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def lookup(self, encoder: Module, graph: Graph) -> Optional[np.ndarray]:
         """Return the cached embeddings, or None on any mismatch."""
@@ -113,7 +113,7 @@ class EmbeddingCache:
             self.misses += 1
             return None
 
-    def store(
+    def store(  # returns-frozen
         self,
         encoder: Module,
         graph: Graph,

@@ -56,7 +56,7 @@ class Optimizer:
                 f"optimizer tracks {len(self.parameters)} parameters"
             )
         checked = []
-        for index, (buffer, param) in enumerate(zip(buffers, self.parameters)):
+        for index, (buffer, param) in enumerate(zip(buffers, self.parameters, strict=True)):
             array = np.asarray(buffer, dtype=np.float64)
             if array.shape != param.data.shape:
                 raise ValueError(
@@ -79,7 +79,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity in zip(self.parameters, self._velocity, strict=True):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -122,7 +122,7 @@ class Adam(Optimizer):
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1 ** self._step_count
         bias_correction2 = 1.0 - self.beta2 ** self._step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v in zip(self.parameters, self._m, self._v, strict=True):
             if param.grad is None:
                 continue
             grad = param.grad

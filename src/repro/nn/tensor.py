@@ -478,10 +478,10 @@ def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    offsets = np.cumsum([0, *sizes])
 
     def backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:], strict=True):
             slicer = [slice(None)] * grad.ndim
             slicer[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(slicer)])
@@ -496,7 +496,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         split = np.moveaxis(grad, axis, 0)
-        for tensor, piece in zip(tensors, split):
+        for tensor, piece in zip(tensors, split, strict=True):
             tensor._accumulate(piece)
 
     return Tensor._make(out_data, tensors, backward)

@@ -54,7 +54,7 @@ class ServeClient:
         self.close()
 
     def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
-        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        payload = json.dumps(body).encode() if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
         try:
             conn = self._connection()

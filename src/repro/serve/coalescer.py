@@ -52,10 +52,10 @@ class RequestCoalescer:
         self._batch_fn = batch_fn
         self.batch_window_ms = float(batch_window_ms)
         self.max_batch = int(max_batch)
-        self._pending: List[_Pending] = []
+        self._pending: List[_Pending] = []  # guarded-by: _wakeup
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._stop = False
+        self._stop = False  # guarded-by: _wakeup
         self._worker: threading.Thread = threading.Thread(
             target=self._run, name="repro-serve-coalescer", daemon=True)
         self._started = False

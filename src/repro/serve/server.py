@@ -30,13 +30,14 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from ..core.config import SerializableConfig
 from .coalescer import RequestCoalescer
 from .metrics import LatencyRecorder
 from .service import PredictionService
 
 
 @dataclass
-class ServeConfig:
+class ServeConfig(SerializableConfig):
     """Transport/batching knobs for :class:`ModelServer`."""
 
     host: str = "127.0.0.1"
@@ -57,18 +58,18 @@ class _Handler(BaseHTTPRequestHandler):
     def model_server(self) -> "ModelServer":
         return self.server.model_server  # type: ignore[attr-defined]
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+    def log_message(self, format, *args):  # stdlib signature
         pass  # request logging would drown the benchmark output
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+    def do_GET(self) -> None:  # stdlib naming
         if self.path == "/health":
             self._reply(200, self.model_server.health())
         elif self.path == "/stats":
@@ -76,7 +77,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def do_POST(self) -> None:  # stdlib naming
         if self.path == "/delta":
             try:
                 length = int(self.headers.get("Content-Length", 0))

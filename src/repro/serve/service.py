@@ -103,7 +103,7 @@ class PredictionService:
         self.snapshot_builds = 0
         #: Graph deltas ingested through apply_delta.
         self.deltas_applied = 0
-        self._dynamic = None  # lazily-built streaming.DynamicGraph wrapper
+        self._dynamic = None  # guarded-by: _lock (lazy DynamicGraph wrapper)
 
     # ------------------------------------------------------------------
     # Snapshot lifecycle (single writer)
@@ -142,7 +142,7 @@ class PredictionService:
             self._snapshot = snapshot
             return snapshot
 
-    def _build_snapshot(self) -> ServingSnapshot:
+    def _build_snapshot(self) -> ServingSnapshot:  # returns-frozen
         trainer = self._trainer
         param_counter, graph_version = self._current_version()
         embeddings = trainer.node_embeddings()
@@ -151,6 +151,15 @@ class PredictionService:
         label_space = result.label_space
         known_logits = np.ascontiguousarray(logits[:, :label_space.num_seen])
         known_logits.setflags(write=False)
+        # Honor the ServingSnapshot contract ("all arrays are read-only"):
+        # predictions/cluster_labels are fresh per-build arrays, frozen in
+        # place; seen_classes is shared with the LabelSpace, so freeze a copy.
+        predictions = np.asarray(result.predictions)
+        predictions.setflags(write=False)
+        cluster_labels = np.asarray(result.cluster_result.labels)
+        cluster_labels.setflags(write=False)
+        seen_classes = label_space.seen_classes.copy()
+        seen_classes.setflags(write=False)
         self.snapshot_builds += 1
         return ServingSnapshot(
             method=self.classifier.method,
@@ -158,9 +167,9 @@ class PredictionService:
             param_counter=param_counter,
             graph_version=graph_version,
             num_nodes=int(trainer.dataset.graph.num_nodes),
-            seen_classes=label_space.seen_classes,
-            predictions=result.predictions,
-            cluster_labels=result.cluster_result.labels,
+            seen_classes=seen_classes,
+            predictions=predictions,
+            cluster_labels=cluster_labels,
             known_logits=known_logits,
             novel_offset=int(label_space.seen_classes.max()) + 1,
             result=result,

@@ -315,7 +315,7 @@ class DynamicGraph:
         )
 
     # ------------------------------------------------------------------
-    def degrees(self) -> np.ndarray:
+    def degrees(self) -> np.ndarray:  # returns-frozen
         """The maintained ``A+I`` degree vector (read-only view)."""
         view = self._degrees.view()
         view.setflags(write=False)

@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=3)

@@ -1,0 +1,11 @@
+def corrupt(cache, encoder, graph):
+    cached = cache.lookup(encoder, graph)
+    cached[0] = 1.0
+    return cached
+
+
+def safe(cache, encoder, graph):
+    cached = cache.lookup(encoder, graph)
+    fresh = cached.copy()
+    fresh[0] = 1.0
+    return fresh

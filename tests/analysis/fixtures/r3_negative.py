@@ -1,0 +1,4 @@
+def publish(array):  # returns-frozen
+    view = array.view()
+    view.setflags(write=False)
+    return view

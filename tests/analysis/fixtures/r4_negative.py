@@ -1,0 +1,3 @@
+def inspect(param):
+    values = param.data
+    return values.sum()

@@ -1,0 +1,2 @@
+def clobber(param, values):
+    param.data = values

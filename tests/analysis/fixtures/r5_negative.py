@@ -1,0 +1,13 @@
+from dataclasses import dataclass
+
+from repro.core.config import SerializableConfig
+
+
+@dataclass
+class GoodConfig(SerializableConfig):
+    value: int = 0
+
+
+@dataclass
+class DerivedConfig(GoodConfig):
+    extra: int = 1

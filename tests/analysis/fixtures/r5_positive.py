@@ -1,0 +1,6 @@
+from dataclasses import dataclass
+
+
+@dataclass
+class OrphanConfig:
+    value: int = 0

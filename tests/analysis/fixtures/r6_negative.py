@@ -1,0 +1,7 @@
+import time
+
+
+def duration(task):
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start

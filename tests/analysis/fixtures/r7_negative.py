@@ -1,0 +1,6 @@
+def run(job, log):
+    try:
+        job()
+    except ValueError as exc:
+        log(exc)
+        raise

@@ -1,0 +1,12 @@
+def run(job):
+    try:
+        job()
+    except:
+        pass
+
+
+def quiet(job):
+    try:
+        job()
+    except ValueError:
+        pass

@@ -1,0 +1,11 @@
+from repro.core.registry import register_method
+
+
+@register_method(name="fixture", display_name="Fixture", kind="two-stage")
+class RegisteredTrainer:
+    def fit(self):
+        return self
+
+
+class _HelperTrainer:
+    pass

@@ -1,0 +1,3 @@
+class OrphanTrainer:
+    def fit(self):
+        return self

@@ -1,0 +1,119 @@
+"""CLI behaviour: exit codes, formats, rule selection, and the e2e guarantee
+that ``repro lint src/`` is clean on this repository."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import cli as analysis_cli
+from repro.experiments import cli as repro_cli
+
+SRC_ROOT = str(Path(__file__).parents[2] / "src")
+
+CLEAN = "import numpy as np\n\n\ndef draw(rng):\n    return rng.normal(size=2)\n"
+DIRTY = "import numpy as np\n\n\ndef draw():\n    return np.random.rand(3)\n"
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+class TestAnalysisCli:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert analysis_cli.main([str(clean_file)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_with_location(self, dirty_file, capsys):
+        assert analysis_cli.main([str(dirty_file)]) == 1
+        captured = capsys.readouterr()
+        assert f"{dirty_file}:5:11: R1" in captured.out
+        assert "1 finding(s)" in captured.err
+
+    def test_json_format_is_parseable(self, dirty_file, capsys):
+        assert analysis_cli.main(["--format", "json", str(dirty_file)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "R1"
+        assert payload[0]["line"] == 5
+        assert payload[0]["col"] == 11
+
+    def test_rule_selection_limits_the_run(self, dirty_file):
+        assert analysis_cli.main(["--rules", "R2", str(dirty_file)]) == 0
+        assert analysis_cli.main(["--rules", "R1,R2", str(dirty_file)]) == 1
+
+    def test_unknown_rule_is_a_usage_error(self, dirty_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            analysis_cli.main(["--rules", "R99", str(dirty_file)])
+        assert excinfo.value.code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            analysis_cli.main(["no/such/path"])
+        assert excinfo.value.code == 2
+
+    def test_list_rules_names_all_eight(self, capsys):
+        assert analysis_cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"):
+            assert rule_id in out
+        assert "contract:" in out
+
+    def test_directory_default_excludes_violations(self, capsys):
+        # The quarantined demos are skipped by default...
+        assert analysis_cli.main([SRC_ROOT]) == 0
+        # ...and still skipped with excludes disabled, because each demo
+        # file carries a skip-file pragma; discovery however now sees them.
+        assert analysis_cli.main(["--no-default-excludes", SRC_ROOT]) == 0
+
+
+class TestReproLintSubcommand:
+    def test_lint_clean_src_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_cli.main(["lint", SRC_ROOT])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_lint_findings_exit_one(self, dirty_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_cli.main(["lint", str(dirty_file)])
+        assert excinfo.value.code == 1
+        assert "R1" in capsys.readouterr().out
+
+    def test_lint_usage_error_reports_cleanly(self, dirty_file):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_cli.main(["lint", "--rules", "R99", str(dirty_file)])
+        # SystemExit carries the message (printed to stderr at process exit).
+        assert "unknown rule" in str(excinfo.value.code)
+
+    def test_lint_appears_in_cli_help(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_cli.main(["--help"])
+        assert "lint" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs(self, dirty_file):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONPATH=SRC_ROOT)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(dirty_file)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 1
+        assert ":5:11: R1" in proc.stdout

@@ -1,0 +1,240 @@
+"""Runtime-sanitizer behaviour: each tripwire demonstrably fires on the
+seeded violations, stays silent on contract-respecting code, and
+install/uninstall restore the process exactly."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitizers
+from repro.analysis.violations import (
+    provoke_global_rng,
+    provoke_lock_order_inversion,
+    provoke_store_input_freeze,
+    provoke_write_after_freeze,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+from repro.inference import EmbeddingCache
+from repro.nn.layers import Linear
+
+
+@pytest.fixture
+def sanitized():
+    """Install every sanitizer for one test; uninstall unconditionally."""
+    already = sanitizers.is_installed()
+    if not already:
+        sanitizers.install()
+    sanitizers.reset_lock_order()
+    try:
+        yield
+    finally:
+        if not already:
+            sanitizers.uninstall()
+
+
+@pytest.fixture
+def cache_setup():
+    rng = np.random.default_rng(0)
+    src = rng.integers(8, size=20)
+    dst = rng.integers(8, size=20)
+    graph = Graph(features=rng.normal(size=(8, 4)),
+                  edge_index=symmetrize_edges(np.vstack([src, dst])))
+    return EmbeddingCache(), Linear(4, 3), graph, rng
+
+
+class TestLockOrderSanitizer:
+    def test_seeded_inversion_fires(self, sanitized):
+        with pytest.raises(sanitizers.LockOrderViolation,
+                           match="lock-order inversion"):
+            provoke_lock_order_inversion()
+
+    def test_consistent_nesting_records_edges_without_convicting(self, sanitized):
+        from repro.analysis.violations.lock_order import consistent_nesting
+
+        consistent_nesting(repeats=3)  # watched locks, lawful a -> b order
+        assert sanitizers.lock_order_recorder().edges()
+
+    def test_reset_forgets_recorded_edges(self, sanitized):
+        from repro.analysis.violations.lock_order import consistent_nesting
+
+        consistent_nesting(repeats=1)
+        recorder = sanitizers.lock_order_recorder()
+        assert recorder.edges()
+        sanitizers.reset_lock_order()
+        assert recorder.edges() == {}
+        consistent_nesting(repeats=1)  # a fresh first observation is lawful
+
+    def test_condition_wrapping_instrumented_lock_works(self, sanitized):
+        # The instrumented lock deliberately lacks _release_save /
+        # _acquire_restore, so Condition routes wait() through the wrapper's
+        # release/acquire — this must not raise or unbalance anything.
+        lock = threading.Lock()
+        condition = threading.Condition(lock)
+        with condition:
+            condition.wait(timeout=0.01)
+        assert not lock.locked()
+
+    def test_violation_releases_the_lock_before_raising(self, sanitized):
+        recorder = sanitizers.lock_order_recorder()
+        inner_a = sanitizers._REAL_LOCK()
+        inner_b = sanitizers._REAL_LOCK()
+        lock_a = sanitizers._InstrumentedLock(inner_a, "t:a", True, recorder)
+        lock_b = sanitizers._InstrumentedLock(inner_b, "t:b", True, recorder)
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with pytest.raises(sanitizers.LockOrderViolation):
+                lock_a.acquire()
+        # The inverted acquire must not leave its lock held behind the
+        # exception — a held lock here would deadlock test teardown.
+        assert not inner_a.locked()
+        assert not inner_b.locked()
+
+
+class TestFrozenCacheSanitizer:
+    def test_seeded_thaw_fires(self, sanitized, cache_setup):
+        cache, encoder, graph, rng = cache_setup
+        with pytest.raises(sanitizers.WriteAfterFreezeError,
+                           match="published by the embedding cache"):
+            provoke_write_after_freeze(cache, encoder, graph,
+                                       rng.normal(size=(8, 3)))
+
+    def test_seeded_pr6_store_regression_fires(self, sanitized, cache_setup):
+        cache, encoder, graph, rng = cache_setup
+        with pytest.raises(sanitizers.WriteAfterFreezeError,
+                           match="froze the caller's array in place"):
+            provoke_store_input_freeze(cache, encoder, graph,
+                                       rng.normal(size=(8, 3)))
+
+    def test_correct_store_lookup_flow_is_silent(self, sanitized, cache_setup):
+        cache, encoder, graph, rng = cache_setup
+        original = rng.normal(size=(8, 3))
+        out = cache.store(encoder, graph, original)
+        assert original.flags.writeable  # caller's array untouched
+        assert not out.flags.writeable
+        assert cache.lookup(encoder, graph) is out  # identity preserved
+
+    def test_copy_is_the_mutable_escape_hatch(self, sanitized, cache_setup):
+        cache, encoder, graph, rng = cache_setup
+        out = cache.store(encoder, graph, rng.normal(size=(8, 3)))
+        fresh = out.copy()
+        fresh[0] = 42.0  # no tripwire: copies start unguarded
+
+    def test_stale_entry_is_guarded(self, sanitized, cache_setup):
+        cache, encoder, graph, rng = cache_setup
+        cache.store(encoder, graph, rng.normal(size=(8, 3)))
+        graph.invalidate_caches()
+        stale = cache.stale_entry(encoder, graph)
+        assert stale is not None
+        with pytest.raises(sanitizers.WriteAfterFreezeError):
+            stale[0].setflags(write=True)
+
+
+class TestGlobalRNGSanitizer:
+    def test_seeded_violation_fires(self, sanitized):
+        with pytest.raises(sanitizers.GlobalRNGViolation,
+                           match="np.random.rand"):
+            provoke_global_rng()
+
+    def test_non_repro_callers_are_unaffected(self, sanitized):
+        # This test module is not under the repro package, so the global
+        # RNG keeps working (third-party and test code is out of scope).
+        values = np.random.rand(2)
+        assert values.shape == (2,)
+
+    def test_seeded_generators_always_work(self, sanitized):
+        rng = np.random.default_rng(3)
+        assert rng.normal(size=4).shape == (4,)
+
+
+class TestInstallUninstall:
+    def test_install_is_idempotent_and_uninstall_exact(self, cache_setup):
+        if sanitizers.is_installed():
+            pytest.skip("session-level sanitizers own install/uninstall "
+                        "(covered by the unsanitized tier-1 run)")
+        cache, encoder, graph, rng = cache_setup
+        real_lock = threading.Lock
+        real_rand = np.random.rand
+        real_store = EmbeddingCache.store
+        sanitizers.install()
+        try:
+            sanitizers.install()  # second install is a no-op
+            assert sanitizers.is_installed()
+            assert threading.Lock is not real_lock
+        finally:
+            sanitizers.uninstall()
+        sanitizers.uninstall()  # second uninstall is a no-op
+        assert not sanitizers.is_installed()
+        assert threading.Lock is real_lock
+        assert np.random.rand is real_rand
+        assert EmbeddingCache.store is real_store
+        # Behaviour is back to stock: plain ndarray out, no guard.
+        out = cache.store(encoder, graph, rng.normal(size=(8, 3)))
+        assert type(out) is np.ndarray
+
+    def test_enabled_from_env(self, monkeypatch):
+        for raw, expected in [("1", True), ("true", True), ("yes", True),
+                              ("0", False), ("false", False), ("", False)]:
+            monkeypatch.setenv("REPRO_SANITIZE", raw)
+            assert sanitizers.enabled_from_env() is expected
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert sanitizers.enabled_from_env() is False
+
+
+class TestPytestPlugin:
+    class _Config:
+        def __init__(self, sanitize: bool):
+            self._sanitize = sanitize
+
+        def getoption(self, name):
+            assert name == "--sanitize"
+            return self._sanitize
+
+    def test_option_installs_and_unconfigure_restores(self):
+        from repro.analysis import pytest_plugin
+
+        already = sanitizers.is_installed()
+        config = self._Config(sanitize=True)
+        pytest_plugin.pytest_configure(config)
+        try:
+            assert sanitizers.is_installed()
+            # Ownership is claimed only when this configure installed; a
+            # session-level install is never torn down by a nested config.
+            assert config._repro_sanitize_installed is (not already)
+            if not already:
+                assert pytest_plugin.pytest_report_header(config) is not None
+        finally:
+            pytest_plugin.pytest_unconfigure(config)
+        assert sanitizers.is_installed() is already
+
+    def test_env_variable_installs(self, monkeypatch):
+        from repro.analysis import pytest_plugin
+
+        already = sanitizers.is_installed()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        config = self._Config(sanitize=False)
+        pytest_plugin.pytest_configure(config)
+        try:
+            assert sanitizers.is_installed()
+        finally:
+            pytest_plugin.pytest_unconfigure(config)
+        assert sanitizers.is_installed() is already
+
+    def test_disabled_by_default(self, monkeypatch):
+        from repro.analysis import pytest_plugin
+
+        already = sanitizers.is_installed()
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        config = self._Config(sanitize=False)
+        pytest_plugin.pytest_configure(config)
+        try:
+            assert config._repro_sanitize_installed is False
+            assert pytest_plugin.pytest_report_header(config) is None
+        finally:
+            pytest_plugin.pytest_unconfigure(config)
+        assert sanitizers.is_installed() is already

@@ -15,7 +15,7 @@ def blobs(sizes, centers, spread=0.3, seed=0):
     """Well-separated Gaussian blobs with ground-truth labels."""
     rng = np.random.default_rng(seed)
     data, labels = [], []
-    for label, (size, center) in enumerate(zip(sizes, centers)):
+    for label, (size, center) in enumerate(zip(sizes, centers, strict=True)):
         data.append(rng.normal(scale=spread, size=(size, 2)) + np.asarray(center))
         labels.append(np.full(size, label))
     return np.vstack(data), np.concatenate(labels)

@@ -32,8 +32,8 @@ def blobs(num_samples=300, num_clusters=5, dim=8, seed=0, spread=0.4):
 def reference_lloyd(data, centers, num_clusters, max_iter=100, tol=1e-6):
     """The original per-cluster Python loop (pre-vectorization)."""
     labels = np.zeros(data.shape[0], dtype=np.int64)
-    iteration = 0
-    for iteration in range(1, max_iter + 1):
+    _iteration = 0
+    for _iteration in range(1, max_iter + 1):
         distances = _pairwise_sq_distances(data, centers)
         labels = distances.argmin(axis=1)
         new_centers = centers.copy()
@@ -51,7 +51,7 @@ def reference_lloyd(data, centers, num_clusters, max_iter=100, tol=1e-6):
     distances = _pairwise_sq_distances(data, centers)
     labels = distances.argmin(axis=1)
     inertia = float(distances[np.arange(data.shape[0]), labels].sum())
-    return labels, centers, inertia, iteration
+    return labels, centers, inertia, _iteration
 
 
 def reference_minibatch(data, num_clusters, batch_size, max_iter, seed):

@@ -188,6 +188,6 @@ class TestSparseContingency:
         joint = table[nonzero] / 500
         outer = np.outer(rows, cols)[nonzero] / (500.0 * 500.0)
         mi = (joint * np.log(joint / outer)).sum()
-        h = lambda c: -(c[c > 0] / 500 * np.log(c[c > 0] / 500)).sum()  # noqa: E731
+        h = lambda c: -(c[c > 0] / 500 * np.log(c[c > 0] / 500)).sum()  # terse on purpose
         expected = mi / (0.5 * (h(rows) + h(cols)))
         assert normalized_mutual_information(a, b) == pytest.approx(expected)

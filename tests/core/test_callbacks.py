@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -124,7 +126,7 @@ class TestEvaluationCallback:
         recorder = RecordingCallback()
 
         class GrabAccuracy(Callback):
-            seen = []
+            seen: ClassVar[list] = []
 
             def on_epoch_end(self, trainer, epoch, logs):
                 if "accuracy" in logs:

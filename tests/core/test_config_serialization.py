@@ -1,20 +1,33 @@
-"""Config dict/JSON round-tripping and strict unknown-key validation."""
+"""Config dict/JSON round-tripping and strict unknown-key validation.
+
+The matrix below must list every ``@dataclass`` named ``*Config`` in the
+package (linter rule R5 plus :class:`TestMatrixCompleteness` enforce this):
+a config outside the matrix silently loses round-trip coverage.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import importlib
 import json
+import pkgutil
 
 import pytest
 
 from repro.core.config import (
     ClusteringConfig,
     EncoderConfig,
+    InferenceConfig,
     OpenIMAConfig,
     OptimizerConfig,
     SamplingConfig,
+    SerializableConfig,
     TrainerConfig,
     fast_config,
 )
+from repro.experiments.runner import ExperimentConfig
+from repro.graphs.generators import SBMConfig
+from repro.serve.server import ServeConfig
 
 ALL_CONFIGS = [
     EncoderConfig(kind="gcn", hidden_dim=48, backend="dense"),
@@ -26,6 +39,10 @@ ALL_CONFIGS = [
     fast_config(sampling=SamplingConfig(mode="khop")),
     fast_config(clustering=ClusteringConfig(strategy="minibatch")),
     OpenIMAConfig(eta=2.5, rho=50.0, large_scale=True, num_novel_classes=4),
+    InferenceConfig(mode="layerwise", chunk_size=256, cache=False),
+    SBMConfig(num_nodes=120, num_classes=4, homophily=0.7, feature_dim=16),
+    ServeConfig(port=0, batch_window_ms=1.5, max_batch=64, warm=False),
+    ExperimentConfig(scale=0.25, max_epochs=4, seeds=[1, 2], eval_every=2),
 ]
 
 
@@ -135,3 +152,39 @@ class TestValidation:
         assert OptimizerConfig().with_updates(learning_rate=1.0).learning_rate == 1.0
         assert TrainerConfig().with_updates(seed=9).seed == 9
         assert OpenIMAConfig().with_updates(eta=3.0).eta == 3.0
+
+
+def _discover_config_classes():
+    """Every ``@dataclass`` named ``*Config`` defined anywhere under repro."""
+    import repro
+
+    found = {}
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if ".violations" in info.name:
+            continue  # quarantined sanitizer demos, not production code
+        module = importlib.import_module(info.name)
+        for name, obj in vars(module).items():
+            if (isinstance(obj, type) and name.endswith("Config")
+                    and name != "SerializableConfig"
+                    and dataclasses.is_dataclass(obj)
+                    and obj.__module__ == info.name):
+                found[name] = obj
+    return found
+
+
+class TestMatrixCompleteness:
+    """ALL_CONFIGS stays in sync with the package — no config left behind."""
+
+    def test_every_config_dataclass_subclasses_serializable(self):
+        rogue = [name for name, cls in _discover_config_classes().items()
+                 if not issubclass(cls, SerializableConfig)]
+        assert not rogue, (
+            f"config dataclasses outside SerializableConfig: {rogue} "
+            f"(linter rule R5 should have caught this)")
+
+    def test_every_config_dataclass_is_in_matrix(self):
+        covered = {type(config).__name__ for config in ALL_CONFIGS}
+        missing = sorted(set(_discover_config_classes()) - covered)
+        assert not missing, (
+            f"config classes missing from ALL_CONFIGS round-trip matrix: "
+            f"{missing}")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -34,7 +36,7 @@ class TestTrainerConfig:
     def test_nested_configs_immutable(self):
         config = TrainerConfig(encoder=EncoderConfig(kind="gcn"),
                                optimizer=OptimizerConfig(learning_rate=0.01))
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             config.max_epochs = 10
 
 

@@ -3,6 +3,8 @@ test_persistence_cli.py)."""
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -267,7 +269,7 @@ class TestClusteringOverrides:
 
 
 class TestStreamCommand:
-    TINY_STREAM = ["stream", "--dataset", "citeseer", "--scale", "0.15",
+    TINY_STREAM: ClassVar[list] = ["stream", "--dataset", "citeseer", "--scale", "0.15",
                    "--epochs", "1", "--steps", "3"]
 
     def test_stream_end_to_end(self, capsys):

@@ -37,7 +37,7 @@ def brute_force_khop(graph: Graph, seeds: np.ndarray, num_hops: int) -> set:
     frontier = set(field)
     for _ in range(num_hops):
         next_frontier = set()
-        for s, d in zip(src, dst):
+        for s, d in zip(src, dst, strict=True):
             if int(s) in frontier and int(d) not in field:
                 next_frontier.add(int(d))
         field |= next_frontier

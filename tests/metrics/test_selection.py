@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -50,7 +52,7 @@ class TestCombinedSCACC:
 
 
 class TestSelectBestCandidate:
-    CANDIDATES = [
+    CANDIDATES: ClassVar[list] = [
         CandidateScore("low-sc-high-acc", silhouette=0.1, validation_accuracy=0.9),
         CandidateScore("high-sc-low-acc", silhouette=0.9, validation_accuracy=0.1),
         CandidateScore("balanced", silhouette=0.7, validation_accuracy=0.7),

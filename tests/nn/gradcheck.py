@@ -59,7 +59,7 @@ def gradcheck(
     output = fn(*tensors)
     (output * Tensor(projection)).sum().backward()
 
-    for index, (tensor, arr) in enumerate(zip(tensors, arrays)):
+    for index, (tensor, arr) in enumerate(zip(tensors, arrays, strict=True)):
         assert tensor.grad is not None, f"input {index}: no gradient accumulated"
         numerical = np.zeros_like(arr)
         flat = numerical.ravel()

@@ -52,7 +52,7 @@ class TestGraphDelta:
         delta = GraphDelta.undirected(
             add_edges=np.array([[0, 1, 1], [1, 0, 2]]))
         src, dst = delta.add_edges
-        pairs = set(zip(src.tolist(), dst.tolist()))
+        pairs = set(zip(src.tolist(), dst.tolist(), strict=True))
         assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
 
     def test_validate_for_checks_feature_width_and_edge_bounds(self):

@@ -48,7 +48,7 @@ def brute_force_ball(graph: Graph, seeds: np.ndarray, num_hops: int) -> set:
     frontier = set(field)
     for _ in range(num_hops):
         nxt = set()
-        for s, d in zip(src.tolist(), dst.tolist()):
+        for s, d in zip(src.tolist(), dst.tolist(), strict=True):
             if s in frontier and d not in field:
                 nxt.add(d)
         field |= nxt

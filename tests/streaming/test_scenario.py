@@ -93,7 +93,7 @@ class TestDeterminismAndValidation:
     def test_same_seed_same_scenario(self, dataset):
         a = make_stream_scenario(dataset, num_steps=5, seed=9)
         b = make_stream_scenario(dataset, num_steps=5, seed=9)
-        for ea, eb in zip(a.events, b.events):
+        for ea, eb in zip(a.events, b.events, strict=True):
             np.testing.assert_array_equal(ea.node_ids, eb.node_ids)
             np.testing.assert_array_equal(ea.delta.add_edges, eb.delta.add_edges)
             np.testing.assert_array_equal(ea.revealed, eb.revealed)
@@ -105,7 +105,7 @@ class TestDeterminismAndValidation:
         assert any(
             ea.delta.add_features.shape != eb.delta.add_features.shape
             or not np.array_equal(ea.delta.add_features, eb.delta.add_features)
-            for ea, eb in zip(a.events, b.events))
+            for ea, eb in zip(a.events, b.events, strict=True))
 
     def test_cannot_withhold_every_novel_class(self, dataset):
         with pytest.raises(ValueError, match="at least one novel class"):

@@ -39,7 +39,7 @@ class TestFixedPoint:
         mixture = from_alpha_gamma(alpha=2.0, gamma=1.5)
         midpoint = (mixture.mu1 + mixture.mu2) / 2
         values = [h(mixture, s) for s in np.linspace(midpoint - 1, midpoint + 1, 9)]
-        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(b > a for a, b in zip(values, values[1:], strict=False))
 
     def test_optimal_threshold_is_root_of_h(self):
         mixture = from_alpha_gamma(alpha=2.0, gamma=1.5)

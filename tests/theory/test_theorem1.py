@@ -35,7 +35,7 @@ class TestSweeps:
     def test_sweep_alpha_accuracy_monotone(self):
         points = sweep_alpha(gamma=1.5, alphas=[1.0, 2.0, 3.0, 4.0])
         accs = [p.acc2 for p in points]
-        assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(accs, accs[1:], strict=False))
 
 
 class TestTheorem1Point1:
