@@ -1,0 +1,142 @@
+"""Observability overhead: the disabled path must cost (nearly) nothing.
+
+Two claims are enforced, not just reported:
+
+* **serving overhead** — client-observed p50 of single-node queries with
+  obs fully disabled must be within 10% of the p50 with tracing enabled.
+  (Disabled is the default; enabled is the reference, so a regression that
+  slows the *disabled* hot path shows up as disabled > 1.10x enabled.)
+* **per-op cost** — a disabled ``obs.span()`` is one branch plus a shared
+  no-op context manager; its measured per-call cost must stay under 1% of
+  a request's service time even if every request opened 100 spans.
+
+Results are appended to ``benchmarks/results/perf_obs_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import save_report
+
+from repro import obs
+from repro.api import OpenWorldClassifier
+from repro.core.config import fast_config
+from repro.serve import ModelServer, PredictionService, ServeClient, ServeConfig
+
+TRAIN_EPOCHS = 2
+TRAIN_SCALE = 0.2
+WARMUP_REQUESTS = 50
+MEASURED_REQUESTS = 300
+SPAN_CALLS = 200_000
+
+_state: dict = {}
+_report_lines: list = []
+
+
+def _report(line: str) -> None:
+    _report_lines.append(line)
+    save_report("perf_obs_overhead", "\n".join(_report_lines))
+
+
+def serving_fixture() -> dict:
+    if _state:
+        return _state
+    clf = OpenWorldClassifier(
+        "openima", config=fast_config(max_epochs=TRAIN_EPOCHS, seed=0))
+    clf.fit("citeseer", scale=TRAIN_SCALE, seed=0)
+    import tempfile
+
+    ckpt = tempfile.mkdtemp(prefix="perf-obs-") + "/ckpt"
+    clf.save(ckpt)
+    served = OpenWorldClassifier.load(ckpt)
+    server = ModelServer(PredictionService(served),
+                         ServeConfig(port=0, batch_window_ms=1.0))
+    server.serve_in_background()
+    client = ServeClient(port=server.port)
+    client.wait_until_ready(timeout=30)
+    _state.update(server=server, client=client,
+                  num_nodes=served.trainer_.dataset.graph.num_nodes)
+    _report(f"model: openima on citeseer scale={TRAIN_SCALE} "
+            f"({_state['num_nodes']} nodes), batch_window=1ms")
+    return _state
+
+
+def _measure_p50(client: ServeClient, num_nodes: int,
+                 requests: int = MEASURED_REQUESTS) -> float:
+    times = []
+    for index in range(requests):
+        start = time.perf_counter()
+        client.predict(index % num_nodes)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def serving_p50s() -> dict:
+    """p50 with obs disabled vs enabled, interleaved to cancel drift."""
+    if "p50" in _state:
+        return _state["p50"]
+    state = serving_fixture()
+    client, num_nodes = state["client"], state["num_nodes"]
+    _measure_p50(client, num_nodes, WARMUP_REQUESTS)  # warm caches/sockets
+    halves = {"disabled": [], "enabled": []}
+    try:
+        for _round in range(2):
+            for mode, enabled in (("disabled", False), ("enabled", True)):
+                obs.configure(enabled=enabled)
+                halves[mode].append(
+                    _measure_p50(client, num_nodes, MEASURED_REQUESTS // 2))
+    finally:
+        obs.configure(enabled=False)
+    p50 = {mode: statistics.median(samples)
+           for mode, samples in halves.items()}
+    _state["p50"] = p50
+    _report(f"serving p50: disabled={p50['disabled'] * 1e3:.3f} ms  "
+            f"enabled={p50['enabled'] * 1e3:.3f} ms  "
+            f"ratio={p50['disabled'] / p50['enabled']:.3f}")
+    return p50
+
+
+def test_disabled_obs_does_not_slow_serving():
+    """Acceptance: p50(disabled) <= 1.10 * p50(enabled)."""
+    p50 = serving_p50s()
+    assert p50["disabled"] > 0 and p50["enabled"] > 0
+    assert p50["disabled"] <= 1.10 * p50["enabled"], (
+        f"obs-disabled serving p50 {p50['disabled'] * 1e3:.3f} ms is more "
+        f"than 10% above the obs-enabled reference "
+        f"{p50['enabled'] * 1e3:.3f} ms — the disabled fast path regressed")
+
+
+def test_disabled_span_per_op_cost_is_noise():
+    """Acceptance: 100 disabled spans/request < 1% of a request's p50."""
+    p50 = serving_p50s()
+    obs.configure(enabled=False)
+    spans_before = obs.TRACER.stats()["spans_total"]
+    start = time.perf_counter()
+    for _ in range(SPAN_CALLS):
+        with obs.span("bench.noop"):
+            pass
+    per_op = (time.perf_counter() - start) / SPAN_CALLS
+    _report(f"disabled span: {per_op * 1e9:.0f} ns/op "
+            f"({SPAN_CALLS} calls)")
+    assert per_op * 100 < 0.01 * p50["disabled"], (
+        f"disabled span costs {per_op * 1e9:.0f} ns/op; 100 per request "
+        f"would exceed 1% of the {p50['disabled'] * 1e3:.3f} ms p50")
+    assert obs.TRACER.stats()["spans_total"] == spans_before  # none recorded
+
+
+def test_enabled_span_cost_reported():
+    """Enabled-path cost is recorded in the report (informational)."""
+    tracer_before = obs.TRACER.stats()["spans_total"]
+    obs.configure(enabled=True)
+    try:
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with obs.span("bench.recorded"):
+                pass
+        per_op = (time.perf_counter() - start) / 10_000
+    finally:
+        obs.configure(enabled=False)
+    _report(f"enabled span: {per_op * 1e6:.2f} us/op (10000 calls)")
+    assert obs.TRACER.stats()["spans_total"] == tracer_before + 10_000

@@ -428,7 +428,9 @@ class WallClockRule(Rule):
 
     ``time.time()`` / ``datetime.now()`` inject nondeterminism into code
     whose outputs are asserted bit-identical across runs.  The serving and
-    experiment-reporting layers (latency metrics, run timestamps) are
+    experiment-reporting layers (latency metrics, run timestamps) and the
+    observability layer (``repro.obs`` wraps the wall clock behind an
+    injectable ``Clock`` that everything else reads through) are
     allowlisted; ``time.perf_counter`` is always fine (it measures
     durations, and no deterministic output is derived from it).
     """
@@ -436,12 +438,12 @@ class WallClockRule(Rule):
     id = "R6"
     name = "no-wall-clock"
     description = ("time.time()/datetime.now()/date.today() are forbidden "
-                   "outside repro.serve and repro.experiments")
+                   "outside repro.serve, repro.experiments, and repro.obs")
     contract = ("PRs 2-5 assert bit-identical checkpoint/resume and refresh "
                 "trajectories; a wall-clock read anywhere in those paths "
                 "breaks the guarantee silently")
 
-    ALLOWED_MODULE_PREFIXES = ("repro.serve", "repro.experiments")
+    ALLOWED_MODULE_PREFIXES = ("repro.serve", "repro.experiments", "repro.obs")
     _FORBIDDEN: ClassVar[set] = {
         ("time", "time"), ("time", "time_ns"),
         ("datetime", "now"), ("datetime", "utcnow"),

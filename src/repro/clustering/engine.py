@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from ..obs import REGISTRY, span
 from .kmeans import (
     KMeans,
     KMeansResult,
@@ -61,6 +62,22 @@ from .kmeans import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import ClusteringConfig
+
+_REFRESH_SECONDS = REGISTRY.histogram(
+    "repro_cluster_refresh_seconds",
+    "Wall time of one clustering refresh, by strategy.",
+    labelnames=("strategy",))
+_REFRESHES = REGISTRY.counter(
+    "repro_cluster_refreshes_total",
+    "Clustering refreshes, by kind (refit vs reassign-only short-circuit).",
+    labelnames=("kind",))
+_ITERATIONS = REGISTRY.histogram(
+    "repro_cluster_iterations",
+    "Lloyd/Sculley iterations run by one refresh's fit.",
+    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256))
+_BIRTHS = REGISTRY.counter(
+    "repro_cluster_births_total",
+    "Clusters born via the streaming silhouette trigger.")
 
 #: Discount applied to the online strategy's running cluster counts at the
 #: start of every warm refresh.  Without it the Sculley learning rate decays
@@ -178,6 +195,20 @@ class ClusteringEngine:
         it: pseudo-label generation aligns exactly ``num_clusters`` cluster
         ids, so a mid-training birth would hand it an id it cannot map.
         """
+        strategy = self.config.strategy
+        with _REFRESH_SECONDS.time(strategy=strategy), \
+                span("cluster.refresh", strategy=strategy):
+            outcome = self._refresh_inner(embeddings, num_clusters,
+                                          parameter_version, allow_birth)
+        _REFRESHES.inc(kind="refit" if outcome.refitted else "reassign")
+        _ITERATIONS.observe(outcome.result.n_iter)
+        if outcome.births:
+            _BIRTHS.inc(len(outcome.births))
+        return outcome
+
+    def _refresh_inner(self, embeddings: np.ndarray, num_clusters: int,
+                       parameter_version: Optional[int],
+                       allow_birth: bool) -> ClusteringOutcome:
         data = np.asarray(embeddings, dtype=np.float64)
         num_clusters = int(num_clusters)
         allow_birth = allow_birth and self.config.birth_threshold is not None

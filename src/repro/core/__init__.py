@@ -7,6 +7,7 @@ from .callbacks import (
     EarlyStopping,
     EvaluationCallback,
     LossLogger,
+    MetricsCallback,
     PeriodicCheckpoint,
 )
 from .config import (
@@ -68,6 +69,7 @@ __all__ = [
     "LossLogger",
     "EarlyStopping",
     "EvaluationCallback",
+    "MetricsCallback",
     "PeriodicCheckpoint",
     "LabelSpace",
     "supervised_contrastive_loss",

@@ -13,6 +13,9 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
+from ..obs import REGISTRY
+from ..obs.clock import monotonic as _monotonic
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .trainer import GraphTrainer, TrainingHistory
 
@@ -141,6 +144,70 @@ class EvaluationCallback(Callback):
             trainer.history.record_evaluation(epoch, accuracy)
             logs["accuracy"] = accuracy.overall
             logs["inference"] = trainer.inference_engine.stats()
+
+
+class MetricsCallback(Callback):
+    """Publish per-epoch training telemetry to :data:`repro.obs.REGISTRY`.
+
+    Per epoch: the mean loss and the post-step gradient norm as gauges
+    (``repro_train_loss`` / ``repro_train_grad_norm``, labelled by method),
+    an epoch counter, and an epoch-duration histogram.  The gradient norm is
+    readable at epoch end because ``_train_step`` zeroes gradients at the
+    *start* of the next step, so the last batch's gradients persist on the
+    optimizer's parameters.
+
+    Purely additive — it never mutates the trainer or ``logs`` keys other
+    callbacks rely on, so it can be appended to any callback stack.
+    """
+
+    _LOSS = REGISTRY.gauge(
+        "repro_train_loss",
+        "Mean training loss of the most recent epoch, by method.",
+        labelnames=("method",))
+    _GRAD_NORM = REGISTRY.gauge(
+        "repro_train_grad_norm",
+        "Global L2 gradient norm after the last step of the epoch, by method.",
+        labelnames=("method",))
+    _EPOCHS = REGISTRY.counter(
+        "repro_train_epochs_total",
+        "Training epochs completed, by method.",
+        labelnames=("method",))
+    _EPOCH_SECONDS = REGISTRY.histogram(
+        "repro_train_epoch_seconds",
+        "Wall time of one training epoch.")
+
+    def __init__(self):
+        self._epoch_started: Optional[float] = None
+
+    @staticmethod
+    def grad_norm(trainer: "GraphTrainer") -> Optional[float]:
+        """Global L2 norm over every parameter gradient (None if all unset)."""
+        total = 0.0
+        seen = False
+        for parameter in trainer.optimizer.parameters:
+            grad = getattr(parameter, "grad", None)
+            if grad is None:
+                continue
+            seen = True
+            total += float((grad ** 2).sum())
+        return math.sqrt(total) if seen else None
+
+    def on_epoch_start(self, trainer, epoch) -> None:
+        self._epoch_started = _monotonic()
+
+    def on_epoch_end(self, trainer, epoch, logs) -> None:
+        method = trainer.method_name
+        loss = logs.get("loss")
+        if isinstance(loss, float) and math.isfinite(loss):
+            self._LOSS.set(loss, method=method)
+        norm = self.grad_norm(trainer)
+        if norm is not None:
+            self._GRAD_NORM.set(norm, method=method)
+        self._EPOCHS.inc(method=method)
+        if self._epoch_started is not None:
+            self._EPOCH_SECONDS.observe(_monotonic() - self._epoch_started)
+            self._epoch_started = None
+        logs["grad_norm"] = norm
 
 
 class PeriodicCheckpoint(Callback):

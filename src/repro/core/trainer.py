@@ -23,6 +23,7 @@ from ..metrics.accuracy import OpenWorldAccuracy, open_world_accuracy
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
+from ..obs import span as _obs_span
 from .callbacks import Callback, CallbackList, EvaluationCallback
 from .config import (
     ClusteringConfig,
@@ -262,31 +263,35 @@ class GraphTrainer:
         self.head.train()
         self.stop_training = False
         dispatcher.on_fit_start(self)
-        for epoch in range(self.epochs_trained, target_epochs):
-            self.on_epoch_start(epoch)
-            dispatcher.on_epoch_start(self, epoch)
-            epoch_losses = []
-            for batch_nodes in self._iterate_batches():
-                loss = self._train_step(batch_nodes)
-                epoch_losses.append(loss)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            if epoch_losses:
-                self.history.record_loss(mean_loss)
-            self.epochs_trained = epoch + 1
-            logs = {"epoch": epoch, "loss": mean_loss}
-            dispatcher.on_epoch_end(self, epoch, logs)
-            if self.stop_training:
-                break
+        with _obs_span("train.fit", method=self.method_name):
+            for epoch in range(self.epochs_trained, target_epochs):
+                with _obs_span("train.epoch", epoch=epoch):
+                    self.on_epoch_start(epoch)
+                    dispatcher.on_epoch_start(self, epoch)
+                    epoch_losses = []
+                    for batch_nodes in self._iterate_batches():
+                        loss = self._train_step(batch_nodes)
+                        epoch_losses.append(loss)
+                    mean_loss = (float(np.mean(epoch_losses))
+                                 if epoch_losses else float("nan"))
+                    if epoch_losses:
+                        self.history.record_loss(mean_loss)
+                    self.epochs_trained = epoch + 1
+                    logs = {"epoch": epoch, "loss": mean_loss}
+                    dispatcher.on_epoch_end(self, epoch, logs)
+                if self.stop_training:
+                    break
         dispatcher.on_fit_end(self, self.history)
         return self.history
 
     def _train_step(self, batch_nodes: np.ndarray) -> float:
-        self.optimizer.zero_grad()
-        view1, view2 = self._batch_views(batch_nodes)
-        loss = self.compute_loss(view1, view2, batch_nodes)
-        loss.backward()
-        self.optimizer.step()
-        return float(loss.data)
+        with _obs_span("train.step", batch=len(batch_nodes)):
+            self.optimizer.zero_grad()
+            view1, view2 = self._batch_views(batch_nodes)
+            loss = self.compute_loss(view1, view2, batch_nodes)
+            loss.backward()
+            self.optimizer.step()
+            return float(loss.data)
 
     def _batch_views(self, batch_nodes: np.ndarray) -> tuple:
         """Two stochastic encoder views of the batch rows.

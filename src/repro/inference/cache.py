@@ -27,6 +27,12 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..nn.layers import Module
+from ..obs import REGISTRY
+
+_CACHE_EVENTS = REGISTRY.counter(
+    "repro_inference_cache_events_total",
+    "Embedding-cache outcomes, by event (hit/miss/store/invalidate).",
+    labelnames=("event",))
 
 
 class ParamVersion:
@@ -96,6 +102,7 @@ class EmbeddingCache:
         self._lock = threading.Lock()
         self.hits = 0  # guarded-by: _lock
         self.misses = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
 
     def lookup(self, encoder: Module, graph: Graph) -> Optional[np.ndarray]:
         """Return the cached embeddings, or None on any mismatch."""
@@ -109,9 +116,14 @@ class EmbeddingCache:
                 and entry[0].module is encoder
             ):
                 self.hits += 1
-                return entry[3]
-            self.misses += 1
-            return None
+                result = entry[3]
+            else:
+                self.misses += 1
+                result = None
+        # Registry increments happen outside _lock: obs instrument locks
+        # are leaves and never nest under component locks.
+        _CACHE_EVENTS.inc(event="hit" if result is not None else "miss")
+        return result
 
     def store(  # returns-frozen
         self,
@@ -142,6 +154,7 @@ class EmbeddingCache:
         )
         with self._lock:
             self._entry = entry
+        _CACHE_EVENTS.inc(event="store")
         return embeddings
 
     def stale_entry(self, encoder: Module, graph: Graph) -> Optional[Tuple[np.ndarray, int]]:
@@ -169,14 +182,18 @@ class EmbeddingCache:
         """Drop the cached entry (the hit/miss counters are kept)."""
         with self._lock:
             self._entry = None
+            self.invalidations += 1
+        _CACHE_EVENTS.inc(event="invalidate")
 
     def stats(self) -> dict:
         """A consistent (hits, misses) snapshot plus the derived hit rate."""
         with self._lock:
             hits, misses = self.hits, self.misses
+            invalidations = self.invalidations
         total = hits + misses
         return {
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / total if total else 0.0,
+            "invalidations": invalidations,
         }

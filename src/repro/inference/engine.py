@@ -23,8 +23,18 @@ import numpy as np
 
 from ..graphs.graph import Graph
 from ..nn.layers import Module
+from ..obs import REGISTRY, span
 from .cache import EmbeddingCache
 from .layerwise import LayerwiseInference
+
+_FORWARD_SECONDS = REGISTRY.histogram(
+    "repro_inference_forward_seconds",
+    "Wall time of one all-node embedding pass, by mode.",
+    labelnames=("mode",))
+_REFRESHES = REGISTRY.counter(
+    "repro_inference_refreshes_total",
+    "Delta refreshes served, by kind (partial patch vs full recompute).",
+    labelnames=("kind",))
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import InferenceConfig
@@ -87,9 +97,12 @@ class InferenceEngine:
 
     def _compute(self, encoder: Module, graph: Graph) -> np.ndarray:
         self.forward_count += 1
-        if self.resolve_mode(encoder, graph) == "layerwise":
-            return self._layerwise.run(encoder, graph)
-        return encoder.embed(graph)
+        mode = self.resolve_mode(encoder, graph)
+        with _FORWARD_SECONDS.time(mode=mode), \
+                span("inference.compute", mode=mode, nodes=graph.num_nodes):
+            if mode == "layerwise":
+                return self._layerwise.run(encoder, graph)
+            return encoder.embed(graph)
 
     # ------------------------------------------------------------------
     # Incremental refresh (streaming deltas)
@@ -132,35 +145,42 @@ class InferenceEngine:
             # The graph moved again after this report was taken; the report's
             # affected set no longer bounds the difference.
             self.full_refresh_count += 1
+            _REFRESHES.inc(kind="full")
             return self.embeddings(encoder, graph)
         stale = self.cache.stale_entry(encoder, graph)
         if (stale is None
                 or stale[1] != report.old_cache_version
                 or stale[0].shape[0] != report.old_num_nodes):
             self.full_refresh_count += 1
+            _REFRESHES.inc(kind="full")
             return self.embeddings(encoder, graph)
         old_embeddings = stale[0]
         if report.num_affected == 0:
             # Topology-neutral delta (version bump only): re-key the cached
             # array under the new graph version without recomputing.
             self.partial_refresh_count += 1
+            _REFRESHES.inc(kind="partial")
             return self.cache.store(encoder, graph, old_embeddings, copy=False)
         if report.num_affected > self.config.partial_threshold * graph.num_nodes:
             self.full_refresh_count += 1
+            _REFRESHES.inc(kind="full")
             return self.embeddings(encoder, graph)
 
-        batch = report.batch
-        if batch is None:
-            from ..graphs.sampling import khop_subgraph
+        with span("inference.partial_refresh",
+                  affected=report.num_affected):
+            batch = report.batch
+            if batch is None:
+                from ..graphs.sampling import khop_subgraph
 
-            batch = khop_subgraph(graph, report.affected, report.num_hops)
-        sub_embeddings = encoder.embed(batch.graph)
-        patched = np.empty((graph.num_nodes, sub_embeddings.shape[1]),
-                           dtype=sub_embeddings.dtype)
-        patched[:report.old_num_nodes] = old_embeddings
-        patched[batch.node_ids[batch.seed_local]] = sub_embeddings[batch.seed_local]
-        self.partial_refresh_count += 1
-        return self.cache.store(encoder, graph, patched, copy=False)
+                batch = khop_subgraph(graph, report.affected, report.num_hops)
+            sub_embeddings = encoder.embed(batch.graph)
+            patched = np.empty((graph.num_nodes, sub_embeddings.shape[1]),
+                               dtype=sub_embeddings.dtype)
+            patched[:report.old_num_nodes] = old_embeddings
+            patched[batch.node_ids[batch.seed_local]] = sub_embeddings[batch.seed_local]
+            self.partial_refresh_count += 1
+            _REFRESHES.inc(kind="partial")
+            return self.cache.store(encoder, graph, patched, copy=False)
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -32,9 +32,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..obs import REGISTRY, span
 
 #: Default number of node rows computed per chunk.
 DEFAULT_CHUNK_SIZE = 4096
+
+_LAYER_SECONDS = REGISTRY.histogram(
+    "repro_inference_layer_seconds",
+    "Wall time of one layer of chunked layer-wise inference.")
 
 
 class LayerwiseInference:
@@ -57,12 +62,14 @@ class LayerwiseInference:
         steps = plan(graph)
         num_nodes = graph.num_nodes
         h = np.asarray(graph.features, dtype=np.float64)
-        for step in steps:
-            step.prepare(h, self.chunk_size)
-            out = np.empty((num_nodes, step.out_dim), dtype=np.float64)
-            for start in range(0, num_nodes, self.chunk_size):
-                stop = min(start + self.chunk_size, num_nodes)
-                out[start:stop] = step.compute(h, start, stop)
-            step.finish()
-            h = out
+        for index, step in enumerate(steps):
+            with _LAYER_SECONDS.time(), \
+                    span("inference.layer", layer=index):
+                step.prepare(h, self.chunk_size)
+                out = np.empty((num_nodes, step.out_dim), dtype=np.float64)
+                for start in range(0, num_nodes, self.chunk_size):
+                    stop = min(start + self.chunk_size, num_nodes)
+                    out[start:stop] = step.compute(h, start, stop)
+                step.finish()
+                h = out
         return h

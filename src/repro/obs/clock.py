@@ -1,0 +1,101 @@
+"""Injectable time sources for the observability layer.
+
+Lint rule R6 bans raw wall-clock reads (``time.time()`` / ``datetime.now()``)
+in deterministic paths because the repo's checkpoint/resume and refresh
+trajectories are asserted bit-identical across runs.  Everything that *does*
+need time — latency histograms, span durations, event timestamps, serving
+metrics — reads it through this module's process-wide :class:`Clock`, so
+
+* tests can install a :class:`ManualClock` and assert on exact durations
+  and timestamps instead of sleeping, and
+* the wall-clock surface of the whole codebase is one swappable object
+  (``repro.obs`` is the only module on R6's allowlist that touches
+  ``time.time`` directly).
+
+``monotonic()`` is the duration source (``time.perf_counter`` semantics:
+meaningless absolute value, high resolution, never goes backwards);
+``wall()`` is the epoch-seconds source for human-facing timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Time-source interface: a monotonic duration clock plus wall time."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonic, high-resolution clock (durations only)."""
+        raise NotImplementedError
+
+    def wall(self) -> float:
+        """Seconds since the epoch (timestamps; never used for durations)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real time sources (``perf_counter`` + ``time.time``)."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+    def wall(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock tests advance by hand; both sources move in lock-step."""
+
+    def __init__(self, monotonic: float = 0.0, wall: float = 0.0):
+        self._monotonic = float(monotonic)
+        self._wall = float(wall)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._monotonic
+
+    def wall(self) -> float:
+        with self._lock:
+            return self._wall
+
+    def advance(self, seconds: float) -> "ManualClock":
+        """Move both clocks forward by ``seconds`` (negative is rejected)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        with self._lock:
+            self._monotonic += seconds
+            self._wall += seconds
+        return self
+
+
+_clock: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide clock every obs consumer reads from."""
+    return _clock
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` process-wide and return the previous one.
+
+    Tests should restore the previous clock in a ``finally`` (or use the
+    ``manual_clock`` helpers in ``tests/obs``) so later tests see real time.
+    """
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+def monotonic() -> float:
+    """Shorthand for ``get_clock().monotonic()`` (the hot-path duration read)."""
+    return _clock.monotonic()
+
+
+def wall_time() -> float:
+    """Shorthand for ``get_clock().wall()``."""
+    return _clock.wall()

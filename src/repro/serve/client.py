@@ -75,6 +75,24 @@ class ServeClient:
             raise ServeClientError(status, data)
         return data
 
+    def _request_text(self, method: str, path: str) -> str:
+        try:
+            conn = self._connection()
+            conn.request(method, path)
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            conn = self._connection()
+            conn.request(method, path)
+            response = conn.getresponse()
+            data = response.read()
+            status = response.status
+        if status >= 400:
+            raise ServeClientError(status, {"error": data.decode(errors="replace")})
+        return data.decode()
+
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
@@ -83,6 +101,10 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The server's ``/metrics`` page (Prometheus text format, raw)."""
+        return self._request_text("GET", "/metrics")
 
     def predict(self, node: int) -> dict:
         """Single-node query: prediction, cluster, known-class logits."""

@@ -17,6 +17,19 @@ import time
 from concurrent.futures import Future
 from typing import Callable, List, Sequence
 
+from ..obs import REGISTRY
+
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_serve_coalescer_queue_depth",
+    "Requests waiting in the coalescer for the next batch.")
+_BATCHES = REGISTRY.counter(
+    "repro_serve_coalescer_batches_total",
+    "Micro-batches executed by the coalescer worker.")
+_BATCH_REQUESTS = REGISTRY.histogram(
+    "repro_serve_coalescer_batch_requests",
+    "Requests coalesced into each executed batch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024))
+
 
 class _Pending:
     __slots__ = ("nodes", "future")
@@ -93,6 +106,9 @@ class RequestCoalescer:
                 raise RuntimeError("coalescer is stopped")
             self._pending.append(pending)
             self._wakeup.notify_all()
+        # Metric updates stay outside _wakeup: obs instrument locks are
+        # leaves and must never nest under component locks.
+        _QUEUE_DEPTH.inc()
         return pending.future
 
     def predict(self, nodes: Sequence[int], timeout: float = 30.0) -> List[dict]:
@@ -123,7 +139,9 @@ class RequestCoalescer:
             if not batch and self._pending:
                 # A single oversized request: take it alone rather than stall.
                 batch.append(self._pending.pop(0))
-            return batch
+        if batch:
+            _QUEUE_DEPTH.dec(len(batch))
+        return batch
 
     def _run(self) -> None:
         while True:
@@ -144,6 +162,8 @@ class RequestCoalescer:
         if len(batch) > 1:
             self.coalesced_requests += len(batch)
         self.max_batch_seen = max(self.max_batch_seen, len(nodes))
+        _BATCHES.inc()
+        _BATCH_REQUESTS.observe(len(batch))
         try:
             results = self._batch_fn(nodes)
             if len(results) != len(nodes):

@@ -4,14 +4,18 @@
 derives p50/p99 and sustained throughput from it.  Recording is O(1) under a
 lock; percentile computation sorts the window on demand (snapshotting is a
 diagnostics path, not a hot path).
+
+Time flows through the injectable :mod:`repro.obs.clock`, so tests can pin a
+:class:`~repro.obs.clock.ManualClock` and assert exact qps/percentiles.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import Optional
+
+from ..obs.clock import monotonic as _monotonic
 
 #: Latency samples kept for percentile estimation.  At serving rates of
 #: thousands of queries/sec this still spans multiple seconds of traffic.
@@ -26,7 +30,7 @@ class LatencyRecorder:
         self._lock = threading.Lock()
         self._count = 0
         self._total_seconds = 0.0
-        self._started = time.perf_counter()
+        self._started = _monotonic()
 
     def record(self, seconds: float) -> None:
         with self._lock:
@@ -54,7 +58,7 @@ class LatencyRecorder:
             samples = sorted(self._samples)
             count = self._count
             total = self._total_seconds
-            elapsed = time.perf_counter() - self._started
+            elapsed = _monotonic() - self._started
 
         def pct(q: float) -> Optional[float]:
             if not samples:

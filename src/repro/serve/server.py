@@ -8,12 +8,22 @@ sockets (many readers), and a :class:`~repro.serve.metrics.LatencyRecorder`
 tracks per-request latency.  Endpoints:
 
 * ``GET  /health``  — liveness + model identity
-* ``GET  /stats``   — latency percentiles, qps, cache hit rate, batch sizes
+* ``GET  /stats``   — latency percentiles, qps, cache hit rate, batch sizes,
+  plus the ``repro.obs`` registry/event summary
+* ``GET  /metrics`` — the process-wide metric registry in Prometheus text
+  exposition format (request latency histograms, cache hit/miss counters,
+  coalescer queue depth, in-flight gauge, ...)
 * ``POST /predict`` — ``{"node": 3}`` or ``{"nodes": [3, 4, 5]}`` →
   per-node known-class logits, cluster assignment, and prediction
 * ``POST /delta``   — ``{"features": [[...]], "edges": [[u...], [w...]],
   "labels": [...], "undirected": true}`` → ingest a graph delta and
   republish the snapshot without a cold rebuild (partial embedding refresh)
+
+Every request is observed: per-endpoint/status counters and latency
+histograms land in :data:`repro.obs.REGISTRY`, an in-flight gauge tracks
+concurrency, and the stdlib request log (previously discarded) is routed
+into :data:`repro.obs.EVENTS` at debug level so 4xx/5xx responses are
+diagnosable after the fact.
 
 Shutdown is graceful: SIGINT/SIGTERM (or :meth:`ModelServer.shutdown`)
 stops accepting connections, drains the coalescer, and unblocks
@@ -25,15 +35,34 @@ from __future__ import annotations
 import json
 import signal
 import threading
-import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..core.config import SerializableConfig
+from ..obs import EVENTS, REGISTRY, TRACER, span
+from ..obs.clock import monotonic as _monotonic
 from .coalescer import RequestCoalescer
 from .metrics import LatencyRecorder
 from .service import PredictionService
+
+#: Content type mandated by the Prometheus text exposition format 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Known endpoints; anything else is labelled "other" to bound cardinality.
+_ENDPOINTS = frozenset(("/health", "/stats", "/metrics", "/predict", "/delta"))
+
+_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total",
+    "HTTP requests served, by endpoint and response status.",
+    labelnames=("endpoint", "status"))
+_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end HTTP request latency in seconds, by endpoint.",
+    labelnames=("endpoint",))
+_INFLIGHT = REGISTRY.gauge(
+    "repro_serve_inflight_requests",
+    "HTTP requests currently being handled.")
 
 
 @dataclass
@@ -59,25 +88,66 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.model_server  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # stdlib signature
-        pass  # request logging would drown the benchmark output
+        # Printing would drown the benchmark output, but discarding made
+        # 4xx/5xx undiagnosable — route into the bounded obs event log
+        # instead (queryable via /stats and `repro obs summary`).
+        EVENTS.debug(format % args, source="serve.http",
+                     client=self.client_address[0])
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+    def _endpoint(self) -> str:
+        return self.path if self.path in _ENDPOINTS else "other"
+
+    def _observe(self, status: int) -> None:
+        endpoint = self._endpoint()
+        started = getattr(self, "_started", None)
+        if started is not None:
+            _REQUEST_SECONDS.observe(_monotonic() - started,
+                                     endpoint=endpoint)
+        _REQUESTS.inc(endpoint=endpoint, status=str(status))
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._observe(status)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        self._send(status, json.dumps(payload).encode(), "application/json")
 
     def do_GET(self) -> None:  # stdlib naming
+        self._started = _monotonic()
+        _INFLIGHT.inc()
+        try:
+            with span("serve.request", method="GET",
+                      endpoint=self._endpoint()):
+                self._route_get()
+        finally:
+            _INFLIGHT.dec()
+
+    def _route_get(self) -> None:
         if self.path == "/health":
             self._reply(200, self.model_server.health())
         elif self.path == "/stats":
             self._reply(200, self.model_server.stats())
+        elif self.path == "/metrics":
+            self._send(200, REGISTRY.render_prometheus().encode(),
+                       PROMETHEUS_CONTENT_TYPE)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # stdlib naming
+        self._started = _monotonic()
+        _INFLIGHT.inc()
+        try:
+            with span("serve.request", method="POST",
+                      endpoint=self._endpoint()):
+                self._route_post()
+        finally:
+            _INFLIGHT.dec()
+
+    def _route_post(self) -> None:
         if self.path == "/delta":
             try:
                 length = int(self.headers.get("Content-Length", 0))
@@ -91,7 +161,6 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path != "/predict":
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
-        start = time.perf_counter()
         try:
             length = int(self.headers.get("Content-Length", 0))
             request = json.loads(self.rfile.read(length) or b"{}")
@@ -118,7 +187,7 @@ class _Handler(BaseHTTPRequestHandler):
         }
         if single:
             payload["result"] = results[0]
-        self.model_server.latency.record(time.perf_counter() - start)
+        self.model_server.latency.record(_monotonic() - self._started)
         self._reply(200, payload)
 
 
@@ -275,7 +344,16 @@ class ModelServer:
             "latency": self.latency.snapshot(),
             "coalescer": self.coalescer.stats(),
             "service": self.service.stats(),
+            "obs": {
+                "metrics": REGISTRY.summary(prefix="repro_serve"),
+                "events": EVENTS.counts(),
+                "tracing": TRACER.stats(),
+            },
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition the ``/metrics`` endpoint serves."""
+        return REGISTRY.render_prometheus()
 
     def __repr__(self) -> str:
         state = "serving" if self._serving.is_set() else "stopped"

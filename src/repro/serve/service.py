@@ -22,6 +22,7 @@ purely a throughput decision.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -30,6 +31,17 @@ import numpy as np
 
 from ..api.classifier import OpenWorldClassifier
 from ..core.inference import InferenceResult
+from ..obs import REGISTRY, span
+
+_SNAPSHOT_BUILDS = REGISTRY.counter(
+    "repro_serve_snapshot_builds_total",
+    "Full prediction-snapshot rebuilds (== distinct versions served).")
+_DELTAS_APPLIED = REGISTRY.counter(
+    "repro_serve_deltas_applied_total",
+    "Graph deltas ingested through the serving layer.")
+_SNAPSHOT_BUILD_SECONDS = REGISTRY.histogram(
+    "repro_serve_snapshot_build_seconds",
+    "Wall time of one full snapshot rebuild (encoder + cluster + logits).")
 
 
 @dataclass(frozen=True)
@@ -142,7 +154,12 @@ class PredictionService:
             self._snapshot = snapshot
             return snapshot
 
-    def _build_snapshot(self) -> ServingSnapshot:  # returns-frozen
+    def _build_snapshot(self) -> ServingSnapshot:
+        with _SNAPSHOT_BUILD_SECONDS.time(), \
+                span("serve.snapshot_build"):
+            return self._build_snapshot_inner()
+
+    def _build_snapshot_inner(self) -> ServingSnapshot:  # returns-frozen
         trainer = self._trainer
         param_counter, graph_version = self._current_version()
         embeddings = trainer.node_embeddings()
@@ -161,6 +178,7 @@ class PredictionService:
         seen_classes = label_space.seen_classes.copy()
         seen_classes.setflags(write=False)
         self.snapshot_builds += 1
+        _SNAPSHOT_BUILDS.inc()
         return ServingSnapshot(
             method=self.classifier.method,
             dataset=getattr(self.classifier.dataset_, "name", "?"),
@@ -210,6 +228,7 @@ class PredictionService:
             trainer.inference_engine.refresh_after_delta(
                 trainer.encoder, trainer.dataset.graph, report)
             self.deltas_applied += 1
+            _DELTAS_APPLIED.inc()
             snapshot = self._build_snapshot()
             self._snapshot = snapshot
         summary = report.describe()
@@ -231,9 +250,15 @@ class PredictionService:
     # Diagnostics
     # ------------------------------------------------------------------
     def stats(self) -> dict:
+        """A point-in-time copy of the service counters.
+
+        The returned dict (including every nested dict) is freshly built
+        per call — callers may mutate it freely without corrupting the
+        service's own state or later ``stats()`` results.
+        """
         engine = self._trainer.inference_engine
         cache = engine.cache.stats() if engine.cache is not None else None
-        return {
+        return copy.deepcopy({
             "snapshot_builds": self.snapshot_builds,
             "encoder_forwards": engine.forward_count,
             "embedding_cache": cache,
@@ -242,7 +267,7 @@ class PredictionService:
             "full_refreshes": engine.full_refresh_count,
             "model_version": (self._snapshot.version
                               if self._snapshot is not None else None),
-        }
+        })
 
     def info(self) -> dict:
         snapshot = self.snapshot()

@@ -26,7 +26,6 @@ deployment story of a trained model serving an evolving graph.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -34,9 +33,26 @@ import numpy as np
 
 from ..assignment.alignment import ClusterAlignment, align_clusters_to_classes
 from ..clustering.kmeans import _assign_labels
+from ..obs import REGISTRY, span
+from ..obs.clock import monotonic as _monotonic
 from .dynamic import DynamicGraph
 from .metrics import PrequentialAccuracy, detection_delay
 from .scenario import StreamScenario
+
+_STEPS = REGISTRY.counter(
+    "repro_stream_steps_total",
+    "Stream events processed by the prequential runner.")
+_STEP_SECONDS = REGISTRY.histogram(
+    "repro_stream_step_seconds",
+    "Wall time of one prequential step, by stage (refresh vs cluster).",
+    labelnames=("stage",))
+_PREQUENTIAL = REGISTRY.gauge(
+    "repro_stream_prequential_accuracy",
+    "Running prequential accuracy after the latest step, by arrival kind.",
+    labelnames=("kind",))
+_CLUSTERS = REGISTRY.gauge(
+    "repro_stream_clusters",
+    "Clusters carried by the runner after the latest step.")
 
 
 @dataclass
@@ -190,6 +206,10 @@ class StreamRunner:
         """Process the next event (ingest -> test -> learn)."""
         if self._next_event >= len(self.scenario.events):
             raise IndexError("the scenario's event stream is exhausted")
+        with span("stream.step", step=self._next_event):
+            return self._step_inner()
+
+    def _step_inner(self) -> StepRecord:
         event = self.scenario.events[self._next_event]
         self._next_event += 1
         trainer = self.trainer
@@ -199,9 +219,9 @@ class StreamRunner:
         # Ingest: mutate the graph, patch only the affected receptive field.
         report = self.dynamic.apply(event.delta)
         partial_before = engine.partial_refresh_count
-        start = time.perf_counter()
+        start = _monotonic()
         embeddings = engine.refresh_after_delta(trainer.encoder, graph, report)
-        refresh_seconds = time.perf_counter() - start
+        refresh_seconds = _monotonic() - start
         partial = engine.partial_refresh_count > partial_before
 
         # Test: score the arrivals against the pre-update clustering.
@@ -226,13 +246,24 @@ class StreamRunner:
         if event.revealed.any():
             self._labeled = np.unique(np.concatenate(
                 [self._labeled, event.node_ids[event.revealed]]))
-        start = time.perf_counter()
+        start = _monotonic()
         outcome = trainer.clustering_engine.refresh(
             embeddings, trainer.label_space.num_total, allow_birth=True)
-        cluster_seconds = time.perf_counter() - start
+        cluster_seconds = _monotonic() - start
         self._publish(outcome.result)
         if outcome.births and self._first_birth_step is None:
             self._first_birth_step = event.step
+
+        # Publish the step as a time series: counters/histograms accumulate
+        # per step, gauges track the latest prequential state.
+        _STEPS.inc()
+        _STEP_SECONDS.observe(refresh_seconds, stage="refresh")
+        _STEP_SECONDS.observe(cluster_seconds, stage="cluster")
+        for kind in ("overall", "seen", "novel"):
+            value = snapshot.get(kind)
+            if value is not None:
+                _PREQUENTIAL.set(float(value), kind=kind)
+        _CLUSTERS.set(float(outcome.result.centers.shape[0]))
 
         record = StepRecord(
             step=event.step,

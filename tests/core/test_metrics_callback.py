@@ -1,0 +1,56 @@
+"""MetricsCallback: per-epoch loss/grad-norm gauges and epoch accounting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.two_stage import InfoNCETrainer
+from repro.core.callbacks import Callback, MetricsCallback
+
+
+class LogRecorder(Callback):
+    def __init__(self):
+        self.logs = []
+
+    def on_epoch_end(self, trainer, epoch, logs):
+        self.logs.append(dict(logs))
+
+
+class TestMetricsCallback:
+    def test_gauges_and_counters_after_fit(self, small_dataset,
+                                           tiny_trainer_config):
+        callback = MetricsCallback()
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        before = callback._EPOCHS.value(method=trainer.method_name)
+        trainer.fit(callbacks=[callback])
+        method = trainer.method_name
+        after = callback._EPOCHS.value(method=method)
+        assert after - before == tiny_trainer_config.max_epochs
+        loss = callback._LOSS.value(method=method)
+        assert math.isfinite(loss)
+        assert loss == trainer.history.losses[-1]
+        assert callback._GRAD_NORM.value(method=method) > 0.0
+
+    def test_epoch_seconds_observed(self, small_dataset, tiny_trainer_config):
+        callback = MetricsCallback()
+        before = callback._EPOCH_SECONDS.count()
+        InfoNCETrainer(small_dataset, tiny_trainer_config).fit(
+            callbacks=[callback])
+        assert (callback._EPOCH_SECONDS.count() - before
+                == tiny_trainer_config.max_epochs)
+
+    def test_grad_norm_published_into_logs(self, small_dataset,
+                                           tiny_trainer_config):
+        recorder = LogRecorder()
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        # Order matters: MetricsCallback runs first so the recorder sees
+        # the grad_norm key it adds.
+        trainer.fit(callbacks=[MetricsCallback(), recorder])
+        assert all("grad_norm" in logs for logs in recorder.logs)
+        assert all(logs["grad_norm"] > 0.0 for logs in recorder.logs)
+
+    def test_grad_norm_none_when_no_grads(self, small_dataset,
+                                          tiny_trainer_config):
+        trainer = InfoNCETrainer(small_dataset, tiny_trainer_config)
+        # Before any training step no parameter has a gradient.
+        assert MetricsCallback.grad_norm(trainer) is None

@@ -171,7 +171,14 @@ class TestEmbeddingCache:
         self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
         self.cache.lookup(self.encoder, self.graph)
         stats = self.cache.stats()
-        assert stats == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert stats == {"hits": 1, "misses": 1, "hit_rate": 0.5,
+                         "invalidations": 0}
+
+    def test_stats_count_invalidations(self):
+        self.cache.store(self.encoder, self.graph, self.encoder.embed(self.graph))
+        self.cache.invalidate()
+        self.cache.invalidate()
+        assert self.cache.stats()["invalidations"] == 2
 
 
 class TestParamVersionHashStability:

@@ -1,0 +1,32 @@
+"""Fixtures for the observability tests: clock injection + global isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.clock import ManualClock, set_clock
+
+
+@pytest.fixture()
+def manual_clock():
+    """Install a ManualClock process-wide; restore the real clock after."""
+    clock = ManualClock(monotonic=100.0, wall=1_000_000.0)
+    previous = set_clock(clock)
+    try:
+        yield clock
+    finally:
+        set_clock(previous)
+
+
+@pytest.fixture()
+def clean_obs():
+    """Zeroed global obs state (metrics/spans/events), tracing disabled."""
+    obs.reset()
+    was_enabled = obs.enabled()
+    obs.configure(enabled=False)
+    try:
+        yield obs
+    finally:
+        obs.configure(enabled=was_enabled)
+        obs.reset()

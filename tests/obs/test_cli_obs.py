@@ -1,0 +1,75 @@
+"""``repro obs`` subcommand: summary, export, and trace-report."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_actions_and_defaults(self):
+        args = build_parser().parse_args(["obs", "summary"])
+        assert args.action == "summary"
+        assert args.jsonl is None
+        assert args.prometheus is False
+        args = build_parser().parse_args(
+            ["obs", "trace-report", "--top", "7"])
+        assert args.top == 7
+
+
+class TestSummary:
+    def test_reports_process_state(self, clean_obs, capsys):
+        obs.REGISTRY.counter("repro_demo_total", "Demo.").inc(4)
+        result = main(["obs", "summary"])
+        assert result["enabled"] is False
+        assert result["metrics"]["repro_demo_total"]["values"][""] == 4.0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["metrics"]["repro_demo_total"]["kind"] == "counter"
+
+    def test_prometheus_flag_renders_exposition(self, clean_obs, capsys):
+        obs.REGISTRY.counter("repro_demo_total", "Demo.").inc()
+        main(["obs", "summary", "--prometheus"])
+        out = capsys.readouterr().out
+        assert "# TYPE repro_demo_total counter" in out
+        assert "repro_demo_total 1" in out
+
+
+class TestTraceReport:
+    def test_flame_output(self, clean_obs, capsys):
+        obs.configure(enabled=True)
+        with obs.span("cli.root"):
+            with obs.span("cli.child"):
+                pass
+        result = main(["obs", "trace-report"])
+        assert result["tracing"]["spans_total"] == 2
+        out = capsys.readouterr().out
+        assert "cli.root" in out
+        assert "cli.child" in out
+
+
+class TestExport:
+    def test_jsonl_file_contains_all_record_kinds(self, clean_obs, tmp_path):
+        obs.configure(enabled=True)
+        obs.REGISTRY.counter("repro_demo_total", "Demo.").inc()
+        with obs.span("exported"):
+            pass
+        obs.EVENTS.info("hello", source="test")
+        path = tmp_path / "dump.jsonl"
+        result = main(["obs", "export", "--jsonl", str(path)])
+        assert result["records"] == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {row["record"] for row in rows}
+        assert kinds == {"metric", "span", "event"}
+        (metric,) = [row for row in rows if row["record"] == "metric"]
+        assert metric["name"] == "repro_demo_total"
+        assert metric["value"] == 1.0
+
+    def test_export_without_path_returns_report(self, clean_obs, capsys):
+        obs.EVENTS.error("boom", source="test")
+        result = main(["obs", "export"])
+        assert result["records"] == 1
+        decoded = json.loads(capsys.readouterr().out.strip())
+        assert decoded["record"] == "event"
+        assert decoded["message"] == "boom"

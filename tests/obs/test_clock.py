@@ -1,0 +1,65 @@
+"""Injectable clock: SystemClock realism, ManualClock determinism, swapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import (
+    ManualClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    set_clock,
+    wall_time,
+)
+
+
+class TestSystemClock:
+    def test_monotonic_never_goes_backwards(self):
+        clock = SystemClock()
+        samples = [clock.monotonic() for _ in range(100)]
+        assert samples == sorted(samples)
+
+    def test_wall_is_epoch_scale(self):
+        # Sanity: epoch seconds, not perf_counter ticks (post-2020).
+        assert SystemClock().wall() > 1.5e9
+
+
+class TestManualClock:
+    def test_advances_both_sources_in_lockstep(self):
+        clock = ManualClock(monotonic=10.0, wall=500.0)
+        clock.advance(2.5)
+        assert clock.monotonic() == 12.5
+        assert clock.wall() == 502.5
+
+    def test_advance_returns_self_for_chaining(self):
+        clock = ManualClock()
+        assert clock.advance(1.0).advance(2.0).monotonic() == 3.0
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(ValueError, match="backwards"):
+            ManualClock().advance(-0.1)
+
+
+class TestProcessClock:
+    def test_default_is_system_clock(self, manual_clock):
+        # The fixture swapped the clock in; restoring must hand back a
+        # SystemClock (nothing else in the suite leaves a manual one).
+        previous = set_clock(manual_clock)
+        assert previous is manual_clock  # fixture's clock was current
+        set_clock(manual_clock)
+
+    def test_module_shortcuts_follow_installed_clock(self, manual_clock):
+        assert monotonic() == 100.0
+        assert wall_time() == 1_000_000.0
+        manual_clock.advance(5.0)
+        assert monotonic() == 105.0
+        assert wall_time() == 1_000_005.0
+
+    def test_set_clock_returns_previous(self):
+        replacement = ManualClock()
+        previous = set_clock(replacement)
+        try:
+            assert get_clock() is replacement
+        finally:
+            assert set_clock(previous) is replacement

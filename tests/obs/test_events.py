@@ -1,0 +1,59 @@
+"""EventLog: levels, bounded capacity, filtering, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import DEFAULT_CAPACITY, LEVELS, EventLog
+
+
+class TestEventLog:
+    def test_levels_and_shorthands(self, manual_clock):
+        log = EventLog()
+        log.debug("d", source="s1")
+        log.info("i")
+        log.warning("w")
+        log.error("e", source="s2", status=500)
+        events = log.snapshot()
+        assert [event["level"] for event in events] == list(LEVELS)
+        assert events[0]["source"] == "s1"
+        assert events[3]["status"] == 500
+        assert all(event["ts"] == 1_000_000.0 for event in events)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown level"):
+            EventLog().log("trace", "nope")
+
+    def test_capacity_bounds_memory_but_not_counts(self):
+        log = EventLog(capacity=3)
+        for index in range(10):
+            log.debug(f"m{index}")
+        events = log.snapshot()
+        assert [event["message"] for event in events] == ["m7", "m8", "m9"]
+        assert log.counts()["debug"] == 10  # counts survive eviction
+
+    def test_snapshot_filters_level_and_limit(self):
+        log = EventLog()
+        log.debug("d1")
+        log.error("e1")
+        log.debug("d2")
+        assert [e["message"] for e in log.snapshot(level="debug")] == ["d1", "d2"]
+        assert [e["message"] for e in log.snapshot(limit=1)] == ["d2"]
+        assert [e["message"]
+                for e in log.snapshot(level="debug", limit=1)] == ["d2"]
+
+    def test_snapshot_returns_copies(self):
+        log = EventLog()
+        log.debug("original")
+        log.snapshot()[0]["message"] = "mutated"
+        assert log.snapshot()[0]["message"] == "original"
+
+    def test_reset(self):
+        log = EventLog()
+        log.debug("gone")
+        log.reset()
+        assert log.snapshot() == []
+        assert log.counts() == dict.fromkeys(LEVELS, 0)
+
+    def test_default_capacity_is_bounded(self):
+        assert 0 < DEFAULT_CAPACITY <= 65536

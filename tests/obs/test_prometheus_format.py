@@ -1,0 +1,202 @@
+"""Prometheus text exposition format round-trip (strict parser).
+
+The parser below implements the text format 0.0.4 rules the repo relies on
+— written here, from the spec, with **no new dependencies**:
+
+* comment lines are ``# HELP <name> <docstring>`` or ``# TYPE <name> <type>``
+  with ``<type>`` one of counter/gauge/histogram/summary/untyped;
+* a ``# TYPE`` line must precede its metric's samples and appear only once;
+* sample lines are ``name{label="value",...} value`` where the metric name
+  matches ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names match
+  ``[a-zA-Z_][a-zA-Z0-9_]*``, label values are double-quoted with ``\\``,
+  ``\"`` and ``\n`` escapes, and the value parses as a float (``+Inf``,
+  ``-Inf`` and ``NaN`` allowed);
+* histogram samples use the ``_bucket``/``_sum``/``_count`` suffixes, the
+  ``le`` label, cumulative bucket counts, and a ``+Inf`` bucket equal to
+  ``_count``.
+
+Everything :meth:`MetricsRegistry.render_prometheus` emits must survive this
+parser — the same guarantee ``GET /metrics`` needs for real scrapers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strict parse of the exposition; raises AssertionError on violations.
+
+    Returns ``{metric_name: {"type": str, "help": str | None,
+    "samples": {(sample_name, (label, value) pairs): float}}}`` keyed by the
+    *family* name (``_bucket``/``_sum``/``_count`` suffixes fold into their
+    histogram).
+    """
+    families: dict = {}
+    current_family = None
+    for line_number, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        where = f"line {line_number}: {line!r}"
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            assert len(parts) >= 3, f"malformed comment at {where}"
+            assert parts[0] == "#", f"comment must start '# ' at {where}"
+            kind, name = parts[1], parts[2]
+            assert kind in ("HELP", "TYPE"), f"unknown comment kind at {where}"
+            assert METRIC_NAME.match(name), f"bad metric name at {where}"
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": {}})
+            if kind == "HELP":
+                assert family["help"] is None, f"duplicate HELP at {where}"
+                family["help"] = parts[3] if len(parts) > 3 else ""
+            else:
+                assert len(parts) == 4, f"TYPE needs a type at {where}"
+                assert parts[3] in VALID_TYPES, f"bad type at {where}"
+                assert family["type"] is None, f"duplicate TYPE at {where}"
+                assert not family["samples"], f"TYPE after samples at {where}"
+                family["type"] = parts[3]
+                current_family = name
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match is not None, f"malformed sample at {where}"
+        sample_name = match.group("name")
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and base in families and families[base]["type"] == "histogram":
+                family_name = base
+                break
+        assert family_name in families, f"sample without TYPE at {where}"
+        assert family_name == current_family, f"interleaved sample at {where}"
+        labels = []
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = LABEL_PAIR.sub("", raw_labels)
+            assert set(consumed) <= {","}, f"malformed labels at {where}"
+            for pair in LABEL_PAIR.finditer(raw_labels):
+                assert LABEL_NAME.match(pair.group("name")), \
+                    f"bad label name at {where}"
+                value = (pair.group("value")
+                         .replace(r"\"", '"').replace(r"\n", "\n")
+                         .replace("\\\\", "\\"))
+                labels.append((pair.group("name"), value))
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "Inf"):
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        elif raw_value == "NaN":
+            value = math.nan
+        else:
+            value = float(raw_value)  # raises on garbage
+        key = (sample_name, tuple(labels))
+        samples = families[family_name]["samples"]
+        assert key not in samples, f"duplicate sample at {where}"
+        samples[key] = value
+    return families
+
+
+def check_histogram_invariants(family: dict, name: str) -> None:
+    """Cumulative buckets, +Inf bucket == _count, consistent label sets."""
+    by_labels: dict = {}
+    for (sample_name, labels), value in family["samples"].items():
+        extra = dict(labels)
+        le = extra.pop("le", None)
+        group = by_labels.setdefault(tuple(sorted(extra.items())),
+                                     {"buckets": [], "sum": None, "count": None})
+        if sample_name == f"{name}_bucket":
+            assert le is not None, f"{name}_bucket without le"
+            bound = math.inf if le == "+Inf" else float(le)
+            group["buckets"].append((bound, value))
+        elif sample_name == f"{name}_sum":
+            group["sum"] = value
+        elif sample_name == f"{name}_count":
+            group["count"] = value
+    for labels, group in by_labels.items():
+        buckets = sorted(group["buckets"])
+        assert buckets, f"{name}{labels}: no buckets"
+        counts = [count for _bound, count in buckets]
+        assert counts == sorted(counts), f"{name}{labels}: not cumulative"
+        assert buckets[-1][0] == math.inf, f"{name}{labels}: missing +Inf"
+        assert group["count"] is not None and group["sum"] is not None
+        assert buckets[-1][1] == group["count"], \
+            f"{name}{labels}: +Inf bucket != _count"
+
+
+@pytest.fixture()
+def populated_registry():
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_serve_requests_total", "HTTP requests served.",
+        labelnames=("endpoint", "status"))
+    requests.inc(endpoint="/predict", status="200")
+    requests.inc(3, endpoint="/predict", status="400")
+    requests.inc(endpoint="/stats", status="200")
+    registry.gauge("repro_serve_inflight_requests",
+                   "In-flight requests.").set(2)
+    latency = registry.histogram(
+        "repro_serve_request_seconds", "Request latency.",
+        labelnames=("endpoint",))
+    for value in (0.0001, 0.0002, 0.004, 1.0):
+        latency.observe(value, endpoint="/predict")
+    registry.counter("repro_unused_total", "Registered but never incremented.")
+    return registry
+
+
+class TestRenderParsesStrictly:
+    def test_round_trip(self, populated_registry):
+        text = populated_registry.render_prometheus()
+        families = parse_prometheus(text)
+        requests = families["repro_serve_requests_total"]
+        assert requests["type"] == "counter"
+        assert requests["help"] == "HTTP requests served."
+        assert requests["samples"][(
+            "repro_serve_requests_total",
+            (("endpoint", "/predict"), ("status", "400")))] == 3.0
+        gauge = families["repro_serve_inflight_requests"]
+        assert gauge["samples"][("repro_serve_inflight_requests", ())] == 2.0
+        histogram = families["repro_serve_request_seconds"]
+        assert histogram["type"] == "histogram"
+        check_histogram_invariants(histogram, "repro_serve_request_seconds")
+        count_key = ("repro_serve_request_seconds_count",
+                     (("endpoint", "/predict"),))
+        assert histogram["samples"][count_key] == 4.0
+
+    def test_unpopulated_metric_still_advertises_schema(self, populated_registry):
+        families = parse_prometheus(populated_registry.render_prometheus())
+        unused = families["repro_unused_total"]
+        assert unused["type"] == "counter"
+        assert unused["samples"] == {}
+
+    def test_label_escaping_survives(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "x", labelnames=("k",))
+        hostile = 'quote " backslash \\ newline \n end'
+        counter.inc(k=hostile)
+        families = parse_prometheus(registry.render_prometheus())
+        (key,) = families["c_total"]["samples"]
+        assert dict(key[1])["k"] == hostile
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(AssertionError, match="without TYPE"):
+            parse_prometheus("no_type_metric 1\n")
+        with pytest.raises(AssertionError, match="malformed sample"):
+            parse_prometheus("# TYPE x counter\nx{unterminated 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE x counter\nx not-a-number\n")

@@ -1,0 +1,142 @@
+"""Span tracing: nesting, self-time, threads, exports, and the fast path."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+class TestSpanNesting:
+    def test_paths_and_depth(self, tracer, manual_clock):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                manual_clock.advance(1.0)
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["inner"]["path"] == "outer;inner"
+        assert records["inner"]["depth"] == 1
+        assert records["outer"]["path"] == "outer"
+        assert records["outer"]["depth"] == 0
+        # Children complete (and record) before their parents.
+        assert [r["name"] for r in tracer.records()] == ["inner", "outer"]
+
+    def test_self_time_excludes_children(self, tracer, manual_clock):
+        with tracer.span("outer"):
+            manual_clock.advance(1.0)
+            with tracer.span("inner"):
+                manual_clock.advance(2.0)
+            manual_clock.advance(0.5)
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["outer"]["duration"] == pytest.approx(3.5)
+        assert records["inner"]["duration"] == pytest.approx(2.0)
+        assert records["outer"]["self"] == pytest.approx(1.5)
+        assert records["inner"]["self"] == pytest.approx(2.0)
+
+    def test_attrs_and_wall_start_recorded(self, tracer, manual_clock):
+        with tracer.span("stage", layer=3):
+            manual_clock.advance(1.0)
+        (record,) = tracer.records()
+        assert record["attrs"] == {"layer": 3}
+        assert record["start"] == pytest.approx(1_000_000.0)
+
+    def test_exception_marks_error_and_unwinds(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        records = {record["name"]: record for record in tracer.records()}
+        assert records["inner"]["error"] == "RuntimeError"
+        assert records["outer"]["error"] == "RuntimeError"
+        # The stacks unwound: a new root span is depth 0 again.
+        with tracer.span("fresh"):
+            pass
+        assert tracer.records()[-1]["depth"] == 0
+
+    def test_threads_keep_independent_stacks(self, tracer):
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Both spans overlapped in time, yet neither nests under the other.
+        assert {record["path"] for record in tracer.records()} == {"t0", "t1"}
+        assert all(record["depth"] == 0 for record in tracer.records())
+
+
+class TestTracerBookkeeping:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        stats = tracer.stats()
+        assert stats == {"spans_recorded": 3, "spans_total": 5,
+                         "spans_dropped": 2}
+        assert [r["name"] for r in tracer.records()] == ["s2", "s3", "s4"]
+
+    def test_reset_clears_records(self, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.records() == []
+        assert tracer.stats()["spans_total"] == 0
+
+
+class TestExports:
+    def test_jsonl_round_trips(self, tracer, manual_clock):
+        with tracer.span("a", key="v"):
+            manual_clock.advance(1.0)
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 1
+        decoded = json.loads(lines[0])
+        assert decoded["name"] == "a"
+        assert decoded["duration"] == pytest.approx(1.0)
+
+    def test_flame_report_aggregates_by_path(self, tracer, manual_clock):
+        for _ in range(3):
+            with tracer.span("root"):
+                manual_clock.advance(1.0)
+                with tracer.span("child"):
+                    manual_clock.advance(1.0)
+        report = tracer.flame_report()
+        lines = report.splitlines()
+        assert "span" in lines[0] and "calls" in lines[0]
+        root_line = next(line for line in lines if line.startswith("root"))
+        assert " 3 " in root_line  # 3 calls aggregated
+        child_line = next(line for line in lines if "child" in line)
+        assert child_line.startswith("  ")  # indented under its root
+
+    def test_flame_report_empty(self, tracer):
+        assert "no spans" in tracer.flame_report()
+
+
+class TestModuleFastPath:
+    def test_disabled_span_is_shared_noop(self, clean_obs):
+        first = obs.span("anything", key=1)
+        second = obs.span("else")
+        assert first is second  # the shared _NULL_SPAN singleton
+        with obs.span("not.recorded"):
+            pass
+        assert obs.TRACER.records() == []
+
+    def test_enabled_span_records(self, clean_obs):
+        obs.configure(enabled=True)
+        with obs.span("recorded"):
+            pass
+        assert [r["name"] for r in obs.TRACER.records()] == ["recorded"]
