@@ -1,0 +1,201 @@
+"""Parallel execution layer: multi-core speedup with bitwise parity.
+
+The ``repro.parallel`` executor promises that parallelism changes
+wall-clock only, never results: the dispatched ranges are the serial
+loop's own chunk-aligned blocks and every per-item RNG stream is a pure
+function of ``(seed, item index)``.  This benchmark measures the two hot
+paths the layer accelerates — chunked clustering assignment and
+layer-wise all-node inference — and asserts bitwise parity in **every**
+cell, serial vs parallel, before any timing claim.
+
+Cells:
+
+* ``smoke`` — 8k nodes / ``n_jobs=2``: parity only, cheap enough for the
+  CI benchmark-smoke job (which runs ``-k "not large"``).
+* ``large`` — 50k nodes / 4 workers: parity always; the >=2.5x speedup
+  headline is asserted only when the host actually has >= 4 usable
+  cores (``pytest.skip`` otherwise — parity has already been checked by
+  the time the skip fires, so a 1-core box still validates correctness).
+
+Results are appended to ``benchmarks/results/perf_parallel.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.clustering.engine import ClusteringEngine
+from repro.core.config import ClusteringConfig, ParallelConfig
+from repro.gnn import GCNEncoder
+from repro.graphs import partition_graph, sharded_embeddings
+from repro.graphs.graph import Graph
+from repro.graphs.utils import symmetrize_edges
+from repro.inference import LayerwiseInference
+from repro.parallel import ParallelExecutor
+
+AVG_DEGREE = 8
+NUM_FEATURES = 32
+EMBED_DIM = 32
+NUM_CENTERS = 16
+CHUNK_SIZE = 4096
+REPEATS = 3
+SPEEDUP_FLOOR = 2.5
+SPEEDUP_WORKERS = 4
+
+_graphs: dict = {}
+_report_lines: list = []
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def executor_for(n_jobs: int, backend: str = "processes") -> ParallelExecutor:
+    return ParallelExecutor(ParallelConfig(backend=backend, n_jobs=n_jobs))
+
+
+def synthetic_graph(num_nodes: int, seed: int = 0) -> Graph:
+    if num_nodes not in _graphs:
+        rng = np.random.default_rng(seed)
+        num_edges = num_nodes * AVG_DEGREE // 2
+        src = rng.integers(num_nodes, size=num_edges)
+        dst = rng.integers(num_nodes, size=num_edges)
+        _graphs[num_nodes] = Graph(
+            features=rng.normal(size=(num_nodes, NUM_FEATURES)),
+            edge_index=symmetrize_edges(np.vstack([src, dst])),
+            name=f"perf-parallel-{num_nodes}",
+        )
+    return _graphs[num_nodes]
+
+
+def synthetic_embeddings(num_rows: int, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(num_rows, EMBED_DIM))
+
+
+def build_encoder(num_features: int) -> GCNEncoder:
+    return GCNEncoder(num_features, hidden_dim=64, out_dim=EMBED_DIM,
+                      dropout=0.0, rng=np.random.default_rng(0))
+
+
+def best_of(fn) -> tuple:
+    """(best wall-clock over REPEATS, last result)."""
+    times, result = [], None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), result
+
+
+def report(line: str) -> None:
+    _report_lines.append(line)
+    save_report("perf_parallel", "\n".join(_report_lines))
+
+
+def assert_speedup_or_skip(name: str, serial_s: float, parallel_s: float,
+                           n_jobs: int) -> None:
+    speedup = serial_s / parallel_s
+    report(f"{name}: serial={serial_s * 1e3:9.2f} ms  "
+           f"parallel(x{n_jobs})={parallel_s * 1e3:9.2f} ms  "
+           f"speedup={speedup:.2f}x  cores={available_cores()}")
+    if available_cores() < SPEEDUP_WORKERS:
+        pytest.skip(f"speedup headline needs >= {SPEEDUP_WORKERS} cores "
+                    f"(host has {available_cores()}); parity already checked")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{name}: expected >= {SPEEDUP_FLOOR}x with {n_jobs} workers, "
+        f"measured {speedup:.2f}x")
+
+
+# ----------------------------------------------------------------------
+# Clustering assignment
+# ----------------------------------------------------------------------
+def measure_assignment(num_rows: int, n_jobs: int) -> tuple:
+    embeddings = synthetic_embeddings(num_rows)
+    centers = synthetic_embeddings(NUM_CENTERS, seed=2)
+    config = ClusteringConfig(reassign_chunk_size=2048)
+    serial_engine = ClusteringEngine(config)
+    parallel_engine = ClusteringEngine(config, parallel=executor_for(n_jobs))
+    serial_engine._reassign(embeddings, centers)  # warm-up (BLAS, caches)
+    serial_s, serial = best_of(
+        lambda: serial_engine._reassign(embeddings, centers))
+    parallel_s, parallel = best_of(
+        lambda: parallel_engine._reassign(embeddings, centers))
+    # Parity first, in every cell: labels, inertia, and updated centers
+    # must be bit-identical before any timing claim means anything.
+    assert np.array_equal(serial.labels, parallel.labels)
+    assert serial.inertia == parallel.inertia
+    assert np.array_equal(serial.centers, parallel.centers)
+    return serial_s, parallel_s
+
+
+def test_assignment_parity_smoke():
+    serial_s, parallel_s = measure_assignment(8_000, n_jobs=2)
+    report(f"assignment smoke n=8000 x2: serial={serial_s * 1e3:.2f} ms  "
+           f"parallel={parallel_s * 1e3:.2f} ms (parity only)")
+
+
+def test_assignment_speedup_large():
+    serial_s, parallel_s = measure_assignment(50_000, n_jobs=SPEEDUP_WORKERS)
+    assert_speedup_or_skip("assignment n=50000", serial_s, parallel_s,
+                           SPEEDUP_WORKERS)
+
+
+# ----------------------------------------------------------------------
+# Layer-wise inference
+# ----------------------------------------------------------------------
+def measure_layerwise(num_nodes: int, n_jobs: int) -> tuple:
+    graph = synthetic_graph(num_nodes)
+    encoder = build_encoder(NUM_FEATURES)
+    serial_inference = LayerwiseInference(chunk_size=CHUNK_SIZE)
+    parallel_inference = LayerwiseInference(
+        chunk_size=CHUNK_SIZE, parallel=executor_for(n_jobs))
+    serial_inference.run(encoder, graph)  # warm-up: propagation caches
+    serial_s, serial = best_of(lambda: serial_inference.run(encoder, graph))
+    parallel_s, parallel = best_of(
+        lambda: parallel_inference.run(encoder, graph))
+    assert np.array_equal(serial, parallel)
+    return serial_s, parallel_s
+
+
+def test_layerwise_parity_smoke():
+    serial_s, parallel_s = measure_layerwise(8_000, n_jobs=2)
+    report(f"layerwise smoke n=8000 x2: serial={serial_s * 1e3:.2f} ms  "
+           f"parallel={parallel_s * 1e3:.2f} ms (parity only)")
+
+
+def test_layerwise_speedup_large():
+    serial_s, parallel_s = measure_layerwise(50_000, n_jobs=SPEEDUP_WORKERS)
+    assert_speedup_or_skip("layerwise n=50000", serial_s, parallel_s,
+                           SPEEDUP_WORKERS)
+
+
+# ----------------------------------------------------------------------
+# Sharded embeddings (tier b): partition quality + end-to-end parity
+# ----------------------------------------------------------------------
+def test_sharded_embeddings_parity_smoke():
+    graph = synthetic_graph(8_000)
+    encoder = build_encoder(NUM_FEATURES)
+    partition = partition_graph(graph, SPEEDUP_WORKERS)
+    serial_s, serial = best_of(lambda: sharded_embeddings(
+        encoder, graph, partition, chunk_size=CHUNK_SIZE))
+    parallel_s, parallel = best_of(lambda: sharded_embeddings(
+        encoder, graph, partition, chunk_size=CHUNK_SIZE,
+        parallel=executor_for(2)))
+    assert np.array_equal(serial, parallel)
+    np.testing.assert_allclose(serial, encoder.embed(graph), atol=1e-8)
+    cut = partition.edge_cut(graph)
+    report(f"sharded smoke n=8000 P={SPEEDUP_WORKERS}: edge-cut={cut:.3f}  "
+           f"serial={serial_s * 1e3:.2f} ms  parallel(x2)="
+           f"{parallel_s * 1e3:.2f} ms")
+    # Greedy streaming partition must beat the random baseline's expected
+    # cut of (P-1)/P by a clear margin on this degree-8 graph.
+    assert cut < 0.9 * (SPEEDUP_WORKERS - 1) / SPEEDUP_WORKERS

@@ -178,6 +178,12 @@ class _InstrumentedLock:
     def locked(self) -> bool:
         return self._inner.locked()
 
+    def _at_fork_reinit(self) -> None:
+        # Stdlib pool modules register this with os.register_at_fork at
+        # import time (concurrent.futures.thread does it on its module
+        # lock); delegate so those imports work under the sanitizer.
+        self._inner._at_fork_reinit()
+
     def __enter__(self) -> bool:
         return self.acquire()
 

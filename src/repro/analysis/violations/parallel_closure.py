@@ -1,0 +1,30 @@
+# repro-lint: skip-file  (deliberate violation: R9 demo)
+"""Closure worker handed to a process pool for the R9 lint demo.
+
+Static rule R9 flags both call sites below (run the linter with excludes
+disabled to see them); executing :func:`provoke_closure_worker` against a
+processes-backend :class:`~repro.parallel.ParallelExecutor` raises
+``ValueError`` at dispatch — the executor refuses un-picklable workers
+before a pool ever spins up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def provoke_closure_worker(executor, items: List[int]) -> list:
+    """Submit a locally nested worker (and a lambda) to a pool executor.
+
+    Both workers close over ``offset``, so neither pickles; on the
+    processes backend the executor raises immediately instead of leaking a
+    broken pool.
+    """
+    offset = 1
+
+    def shifted(item, payload, rng):
+        return item + offset
+
+    results = executor.map(shifted, items)
+    results += executor.map(lambda item, payload, rng: item + offset, items)
+    return results

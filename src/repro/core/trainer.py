@@ -25,9 +25,11 @@ from ..nn.optim import Adam
 from ..nn.tensor import Tensor, no_grad
 from ..obs import span as _obs_span
 from .callbacks import Callback, CallbackList, EvaluationCallback
+from ..parallel import ParallelExecutor
 from .config import (
     ClusteringConfig,
     InferenceConfig,
+    ParallelConfig,
     SerializableConfig,
     TrainerConfig,
 )
@@ -110,11 +112,17 @@ class GraphTrainer:
                 rng=self._sampling_rng if self._sampling_rng is not None else self.rng,
             )
 
+        #: Multi-core dispatcher shared by the inference and clustering
+        #: engines (see repro.parallel); serial by default, so existing
+        #: configs behave exactly as before.
+        self.parallel_executor = ParallelExecutor(config.parallel)
+
         #: Deterministic all-node inference: layerwise/full mode selection
         #: plus the parameter-version-keyed embedding cache, so pseudo-label
         #: refresh, evaluation, and prediction against unchanged parameters
         #: share a single encoder forward (see repro.inference).
-        self.inference_engine = InferenceEngine(config.inference)
+        self.inference_engine = InferenceEngine(config.inference,
+                                                parallel=self.parallel_executor)
 
         #: Strategy-based clustering (see repro.clustering.engine): the
         #: pseudo-label refresh runs through its stateful path (warm-started
@@ -345,7 +353,8 @@ class GraphTrainer:
         new section in ``self.config`` so subsequent checkpoints persist it.
         """
         self.config = self.config.with_updates(inference=inference)
-        self.inference_engine = InferenceEngine(inference)
+        self.inference_engine = InferenceEngine(inference,
+                                                parallel=self.parallel_executor)
 
     def _build_clustering_engine(self, clustering: ClusteringConfig) -> ClusteringEngine:
         """One engine-wiring site for construction and reconfiguration.
@@ -358,7 +367,23 @@ class GraphTrainer:
             seed=self.config.seed,
             mini_batch=self.config.mini_batch_kmeans,
             batch_size=self.config.kmeans_batch_size,
+            parallel=self.parallel_executor,
         )
+
+    def configure_parallel(self, parallel: ParallelConfig) -> None:
+        """Swap the parallel-execution settings (backend, worker count).
+
+        The executor is stateless, so it is replaced in place on both
+        engines — no embedding cache is dropped and no clustering
+        warm-start state is lost — and the new section is recorded in
+        ``self.config`` so subsequent checkpoints persist it.  Results are
+        unchanged by construction (the executor's bit-parity contract);
+        only the wall-clock changes.
+        """
+        self.config = self.config.with_updates(parallel=parallel)
+        self.parallel_executor = ParallelExecutor(parallel)
+        self.inference_engine.parallel = self.parallel_executor
+        self.clustering_engine.parallel = self.parallel_executor
 
     def configure_clustering(self, clustering: ClusteringConfig) -> None:
         """Swap the clustering settings (strategy, sampling, warm start).

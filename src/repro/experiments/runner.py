@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.config import (
+    PARALLEL_BACKENDS,
+    ParallelConfig,
     SamplingConfig,
     SerializableConfig,
     TrainerConfig,
@@ -114,6 +116,12 @@ class ExperimentConfig(SerializableConfig):
     ``sampling_mode`` selects the trainer's mini-batch neighborhood sampling
     (``full`` / ``khop`` / ``sampled``, see
     :class:`repro.core.config.SamplingConfig`).
+
+    ``n_jobs`` > 1 runs the method x dataset x seed grid cells through a
+    :class:`repro.parallel.ParallelExecutor` on ``parallel_backend``
+    (default ``processes``).  Each cell is seeded entirely by its own
+    ``(method, dataset, seed)``, so cells are independent and the grid
+    result is bit-identical to the serial loop in any backend.
     """
 
     scale: float = 0.35
@@ -126,11 +134,20 @@ class ExperimentConfig(SerializableConfig):
     backend: str = "sparse"
     eval_every: int = 0
     sampling_mode: str = "full"
+    n_jobs: int = 1
+    parallel_backend: str = "processes"
 
     def __post_init__(self) -> None:
         # JSON round-trips turn the seeds tuple into a list; normalise so
         # from_json(to_json(cfg)) == cfg holds in the serialization matrix.
         self.seeds = tuple(int(seed) for seed in self.seeds)
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel_backend {self.parallel_backend!r}; "
+                f"expected one of {PARALLEL_BACKENDS}")
+        if int(self.n_jobs) < 0:
+            raise ValueError(
+                f"n_jobs must be >= 0 (0 = all cores), got {self.n_jobs}")
 
     def epochs_for(self, method: str) -> int:
         key = method.lower()
@@ -220,6 +237,64 @@ def evaluate_trainer(trainer: GraphTrainer, dataset: OpenWorldDataset,
     )
 
 
+def run_grid_cell(
+    method: str,
+    dataset_name: str,
+    seed: int,
+    experiment: ExperimentConfig,
+    num_novel_classes: Optional[int] = None,
+    openima_overrides: Optional[dict] = None,
+) -> RunResult:
+    """Train and evaluate one (method, dataset, seed) grid cell.
+
+    The unit of work for both the serial loop and the parallel grid
+    (:func:`repro.parallel.workers.run_experiment_cell`); keeping it
+    module-level means the process-pool path and the in-process path run
+    the same code, cell for cell.
+    """
+    dataset = load_open_world_dataset(
+        dataset_name,
+        seed=seed,
+        scale=experiment.scale,
+        labels_per_class=experiment.labels_per_class,
+    )
+    trainer_config = experiment.trainer_config(seed, method=method)
+    trainer = build_method(
+        method, dataset, trainer_config,
+        num_novel_classes=num_novel_classes,
+        openima_overrides=openima_overrides,
+    )
+    trainer.fit()
+    return evaluate_trainer(trainer, dataset, method, seed)
+
+
+def _run_cells(
+    cells: List[tuple],
+    experiment: ExperimentConfig,
+) -> List[RunResult]:
+    """Ordered cell results, dispatched in parallel when ``n_jobs`` > 1.
+
+    ``cells`` are ``(method, dataset_name, seed)`` triples.  Every random
+    draw in a cell flows from generators keyed on its own seed, so the
+    ordered parallel reduction returns exactly what the serial loop would.
+    """
+    if int(experiment.n_jobs) == 1 or len(cells) <= 1:
+        return [
+            run_grid_cell(method, dataset_name, seed, experiment)
+            for method, dataset_name, seed in cells
+        ]
+    from ..parallel import ParallelExecutor
+    from ..parallel.workers import run_experiment_cell
+
+    executor = ParallelExecutor(ParallelConfig(
+        backend=experiment.parallel_backend, n_jobs=experiment.n_jobs,
+        chunk_size=1))
+    experiment_dict = experiment.to_dict()
+    items = [(method, dataset_name, seed, experiment_dict, None, None)
+             for method, dataset_name, seed in cells]
+    return executor.map(run_experiment_cell, items, label="experiments.grid")
+
+
 def run_method(
     method: str,
     dataset_name: str,
@@ -229,21 +304,17 @@ def run_method(
 ) -> AggregatedResult:
     """Train ``method`` on ``dataset_name`` for every configured seed."""
     aggregated = AggregatedResult(method=method, dataset=dataset_name)
+    if (num_novel_classes is None and openima_overrides is None
+            and int(experiment.n_jobs) != 1):
+        cells = [(method, dataset_name, seed) for seed in experiment.seeds]
+        aggregated.runs.extend(_run_cells(cells, experiment))
+        return aggregated
     for seed in experiment.seeds:
-        dataset = load_open_world_dataset(
-            dataset_name,
-            seed=seed,
-            scale=experiment.scale,
-            labels_per_class=experiment.labels_per_class,
-        )
-        trainer_config = experiment.trainer_config(seed, method=method)
-        trainer = build_method(
-            method, dataset, trainer_config,
+        aggregated.runs.append(run_grid_cell(
+            method, dataset_name, seed, experiment,
             num_novel_classes=num_novel_classes,
             openima_overrides=openima_overrides,
-        )
-        trainer.fit()
-        aggregated.runs.append(evaluate_trainer(trainer, dataset, method, seed))
+        ))
     return aggregated
 
 
@@ -253,7 +324,23 @@ def run_methods(
     experiment: ExperimentConfig,
     num_novel_classes: Optional[int] = None,
 ) -> Dict[str, AggregatedResult]:
-    """Run several methods on the same dataset profile."""
+    """Run several methods on the same dataset profile.
+
+    With ``experiment.n_jobs`` != 1 the whole method x seed grid is
+    flattened into one parallel dispatch, so long and short methods
+    interleave across workers instead of serializing per method.
+    """
+    if num_novel_classes is None and int(experiment.n_jobs) != 1:
+        cells = [(method, dataset_name, seed)
+                 for method in methods for seed in experiment.seeds]
+        results = _run_cells(cells, experiment)
+        grouped: Dict[str, AggregatedResult] = {
+            method: AggregatedResult(method=method, dataset=dataset_name)
+            for method in methods
+        }
+        for (method, _, _), run in zip(cells, results):
+            grouped[method].runs.append(run)
+        return grouped
     return {
         method: run_method(method, dataset_name, experiment,
                            num_novel_classes=num_novel_classes)

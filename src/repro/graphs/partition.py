@@ -1,0 +1,262 @@
+"""Greedy edge-cut graph partitioning and shard-at-a-time inference.
+
+Large graphs do not fit one worker's cache (or, for process pools, one
+worker's memory budget) when inference materializes all ``N`` activations.
+This module splits the node set into ``P`` balanced shards with a greedy
+streaming edge-cut heuristic (linear deterministic gain, in the spirit of
+Stanton & Kliot's linear deterministic greedy), then runs the encoder
+*shard at a time*: each shard extracts its owned nodes plus the ``k``-hop
+halo it needs, evaluates layer-wise on that subgraph only, and scatters the
+owned rows into the full output.
+
+Exactness
+---------
+Shard extraction reuses :func:`repro.graphs.sampling.khop_subgraph`, whose
+subgraph propagation matrix is the row/column **slice of the full graph's**
+normalized propagation (not a renormalization).  With ``num_hops`` at least
+the encoder's message-passing depth, the owned rows of a shard therefore
+equal the full-graph embedding rows to floating-point accuracy — sharding
+changes the memory profile, never the result
+(``tests/graphs/test_partition.py`` checks 1e-8 agreement shard by shard).
+
+Parallelism
+-----------
+Shards touch disjoint owned-node sets, so they are independent units for
+:class:`repro.parallel.ParallelExecutor`
+(:func:`repro.parallel.workers.shard_embeddings_worker`); the ordered
+scatter keeps :func:`sharded_embeddings` deterministic in any backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .graph import Graph
+from .sampling import SubgraphBatch, build_edge_csr, khop_subgraph
+from .utils import symmetrize_edges
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import ParallelExecutor
+
+#: Default halo depth — both in-repo encoders are two message-passing layers.
+DEFAULT_NUM_HOPS = 2
+
+#: Default node-chunk size for the per-shard layer-wise pass.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """A disjoint, exhaustive assignment of nodes to ``num_parts`` shards.
+
+    ``assignment[v]`` is the shard that *owns* node ``v``; every node is
+    owned by exactly one shard.  Halos are not stored — they depend on the
+    consumer's receptive-field depth and are extracted on demand by
+    :func:`extract_shard`.
+    """
+
+    num_parts: int
+    assignment: np.ndarray
+
+    def __post_init__(self) -> None:
+        assignment = np.asarray(self.assignment, dtype=np.int64)
+        object.__setattr__(self, "assignment", assignment)
+        if assignment.ndim != 1:
+            raise ValueError("assignment must be a 1-D part-id array")
+        if int(self.num_parts) < 1:
+            raise ValueError(f"num_parts must be >= 1, got {self.num_parts}")
+        if assignment.size and (
+                assignment.min() < 0 or assignment.max() >= self.num_parts):
+            raise ValueError(
+                f"assignment part ids must lie in [0, {self.num_parts})")
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.assignment.shape[0])
+
+    def owned(self, part: int) -> np.ndarray:
+        """Sorted global ids of the nodes shard ``part`` owns."""
+        part = int(part)
+        if not 0 <= part < self.num_parts:
+            raise IndexError(f"part {part} out of range [0, {self.num_parts})")
+        return np.where(self.assignment == part)[0].astype(np.int64)
+
+    def sizes(self) -> np.ndarray:
+        """Owned-node count per shard."""
+        return np.bincount(self.assignment, minlength=self.num_parts)
+
+    def edge_cut(self, graph: Graph) -> float:
+        """Fraction of edges whose endpoints live in different shards."""
+        edge_index = graph.edge_index
+        if edge_index.shape[1] == 0:
+            return 0.0
+        src_part = self.assignment[edge_index[0]]
+        dst_part = self.assignment[edge_index[1]]
+        return float(np.mean(src_part != dst_part))
+
+
+def partition_graph(graph: Graph, num_parts: int,
+                    *, slack: float = 1.05) -> GraphPartition:
+    """Greedy streaming edge-cut partition into ``num_parts`` balanced shards.
+
+    Nodes are streamed in descending-degree order (stable, so the result is
+    deterministic — no RNG) and each is placed on the shard maximizing
+    ``|N(v) ∩ shard| * (1 - size/capacity)``: neighbors already placed pull
+    the node in, the capacity penalty keeps shards balanced.  ``slack``
+    bounds any shard at ``slack * ceil(N / P)`` owned nodes.  Runs in
+    O(E + N P); ties break toward the smaller (then lower-indexed) shard.
+    """
+    num_parts = int(num_parts)
+    if num_parts < 1:
+        raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+    num_nodes = graph.num_nodes
+    assignment = np.zeros(num_nodes, dtype=np.int64)
+    if num_parts == 1 or num_nodes == 0:
+        return GraphPartition(num_parts=num_parts, assignment=assignment)
+    if float(slack) < 1.0:
+        raise ValueError(f"slack must be >= 1.0, got {slack}")
+
+    indptr, indices = build_edge_csr(
+        symmetrize_edges(graph.edge_index), num_nodes)
+    degrees = indptr[1:] - indptr[:-1]
+    # Stable sort on negated degree: high-degree nodes (the expensive ones
+    # to mis-place) choose while shards are still empty-ish and equal ties
+    # keep natural node order for determinism.
+    order = np.argsort(-degrees, kind="stable")
+
+    capacity = float(slack) * -(-num_nodes // num_parts)  # slack * ceil(N/P)
+    sizes = np.zeros(num_parts, dtype=np.int64)
+    assignment.fill(-1)
+    neighbor_counts = np.empty(num_parts, dtype=np.int64)
+    for node in order:
+        neighbor_parts = assignment[indices[indptr[node]:indptr[node + 1]]]
+        neighbor_parts = neighbor_parts[neighbor_parts >= 0]
+        neighbor_counts[:] = np.bincount(neighbor_parts, minlength=num_parts)
+        open_parts = sizes < capacity
+        if not open_parts.any():  # pragma: no cover - capacity >= N/P
+            open_parts[:] = True
+        gain = neighbor_counts * (1.0 - sizes / capacity)
+        gain[~open_parts] = -np.inf
+        # argmax with explicit tie-breaks: smaller shard first, then index.
+        best = np.flatnonzero(gain == gain.max())
+        if best.shape[0] > 1:
+            best = best[np.argsort(sizes[best], kind="stable")]
+        part = int(best[0])
+        assignment[node] = part
+        sizes[part] += 1
+    return GraphPartition(num_parts=num_parts, assignment=assignment)
+
+
+def extract_shard(graph: Graph, partition: GraphPartition, part: int,
+                  num_hops: int = DEFAULT_NUM_HOPS) -> SubgraphBatch:
+    """Owned + ``num_hops``-halo subgraph of one shard.
+
+    The owned nodes are the subgraph's seeds (``seed_local`` rows); every
+    further node is halo replicated from neighboring shards.  The sliced
+    full-graph propagation makes encoder outputs on the owned rows exact
+    (see module docstring).
+    """
+    owned = partition.owned(part)
+    if owned.shape[0] == 0:
+        raise ValueError(f"shard {part} owns no nodes")
+    return khop_subgraph(graph, owned, num_hops=num_hops)
+
+
+def compute_shard_embeddings(
+    encoder, graph: Graph, partition: GraphPartition, part: int,
+    *, num_hops: int = DEFAULT_NUM_HOPS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Embeddings of the nodes shard ``part`` owns: ``(owned_ids, rows)``.
+
+    Runs the encoder's layer-wise plan on the shard's owned+halo subgraph in
+    ``chunk_size`` node chunks, then keeps the owned (seed) rows only.  Peak
+    memory is O(shard size x layer width) regardless of ``N`` — this is the
+    unit of work :func:`repro.parallel.workers.shard_embeddings_worker`
+    dispatches to pool workers.
+    """
+    from ..inference.layerwise import LayerwiseInference
+
+    shard = extract_shard(graph, partition, part, num_hops=num_hops)
+    local = LayerwiseInference(chunk_size=chunk_size).run(encoder, shard.graph)
+    return shard.node_ids[shard.seed_local], local[shard.seed_local]
+
+
+def sharded_embeddings(
+    encoder, graph: Graph, partition: GraphPartition,
+    *, num_hops: int = DEFAULT_NUM_HOPS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    parallel: Optional["ParallelExecutor"] = None,
+) -> np.ndarray:
+    """All-node embeddings assembled shard at a time.
+
+    Equal to ``encoder.embed(graph)`` to floating-point accuracy (1e-8 in
+    tests) for any partition, because shards are exact and ownership is a
+    disjoint cover.  With a non-serial ``parallel`` executor the shards run
+    as pool workers — ``graph``/``partition`` travel in the shared payload
+    (copy-on-write under ``fork``) and the ordered reduction scatters each
+    shard's rows into place deterministically.
+    """
+    parts = list(range(partition.num_parts))
+    if parallel is not None and not parallel.is_serial and len(parts) > 1:
+        from ..parallel.workers import shard_embeddings_worker
+
+        results = parallel.map(
+            shard_embeddings_worker, parts,
+            payload=(encoder, graph, partition, num_hops, chunk_size),
+            chunk_size=1, label="graphs.shard_embed")
+    else:
+        results = [
+            compute_shard_embeddings(encoder, graph, partition, part,
+                                     num_hops=num_hops, chunk_size=chunk_size)
+            for part in parts
+        ]
+    out: Optional[np.ndarray] = None
+    for owned, rows in results:
+        if out is None:
+            out = np.empty((partition.num_nodes, rows.shape[1]),
+                           dtype=rows.dtype)
+        out[owned] = rows
+    assert out is not None
+    return out
+
+
+def partition_batches(
+    partition: GraphPartition, nodes: np.ndarray, batch_size: int,
+    rng: np.random.Generator,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Sampled training batches that never cross shard boundaries.
+
+    Groups ``nodes`` (e.g. the labeled training nodes) by owning shard,
+    shuffles within each shard with ``rng``, and yields ``(part, batch)``
+    pairs of at most ``batch_size`` nodes.  A batch confined to one shard
+    trains on that shard's owned+halo subgraph only, so per-partition
+    training has the same bounded working set as sharded inference.  Shards
+    are visited in index order; all randomness comes from ``rng``.
+    """
+    batch_size = int(batch_size)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    for part in range(partition.num_parts):
+        mine = nodes[partition.assignment[nodes] == part]
+        if mine.shape[0] == 0:
+            continue
+        shuffled = mine[rng.permutation(mine.shape[0])]
+        for start in range(0, shuffled.shape[0], batch_size):
+            yield part, shuffled[start:start + batch_size]
+
+
+__all__: List[str] = [
+    "GraphPartition",
+    "partition_graph",
+    "extract_shard",
+    "compute_shard_embeddings",
+    "sharded_embeddings",
+    "partition_batches",
+    "DEFAULT_NUM_HOPS",
+    "DEFAULT_CHUNK_SIZE",
+]

@@ -18,6 +18,7 @@ The design mirrors the familiar PyTorch semantics:
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -25,24 +26,37 @@ import scipy.sparse as sp
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread grad-recording flag.
+
+    Thread-local (not a module global) so a ``no_grad()`` block in one
+    thread — e.g. a threads-backend :class:`repro.parallel.ParallelExecutor`
+    worker running inference — can never switch off graph recording for a
+    training step running concurrently in another thread.  Each thread
+    starts with recording enabled.
+    """
+
+    enabled = True
+
+
+_grad_state = _GradState()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_state.enabled
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autodiff graph."""
-    return _GRAD_ENABLED
+    return _grad_state.enabled
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -82,7 +96,7 @@ class Tensor:
         name: str = "",
     ):
         self.data = _as_array(data)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_state.enabled
         self.grad: Optional[np.ndarray] = None
         self._parents = tuple(_parents) if self.requires_grad or _parents else ()
         self._backward = _backward
@@ -136,7 +150,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_state.enabled and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data, requires_grad=False)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
@@ -148,6 +162,24 @@ class Tensor:
             self.grad = np.array(grad, dtype=np.float64, copy=True)
         else:
             self.grad += grad
+
+    def _accumulate_broadcast(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient that broadcasts against ``self.data``.
+
+        Equivalent to ``self._accumulate(np.broadcast_to(grad,
+        self.data.shape).copy())`` but never materializes the broadcast
+        temporary: with an existing buffer ``np.add`` reads the broadcast
+        view straight into it, and otherwise the owned buffer is allocated
+        once and filled by ``np.copyto`` — one full-size array either way
+        instead of two.
+        """
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.empty(self.data.shape, dtype=np.float64)
+            np.copyto(self.grad, grad)
+        else:
+            np.add(self.grad, grad, out=self.grad)
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -364,12 +396,9 @@ class Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
-            if axis is None:
-                self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
-            else:
-                if not keepdims:
-                    grad = np.expand_dims(grad, axis)
-                self._accumulate(np.broadcast_to(grad, self.data.shape).copy())
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate_broadcast(grad)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -387,14 +416,17 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if axis is None:
                 mask = self.data == out_data
-                scale = mask / mask.sum()
-                self._accumulate(grad * scale)
+                contribution = np.multiply(grad, mask / mask.sum())
             else:
                 expanded = out_data if keepdims else np.expand_dims(out_data, axis)
                 grad_expanded = grad if keepdims else np.expand_dims(grad, axis)
                 mask = self.data == expanded
                 counts = mask.sum(axis=axis, keepdims=True)
-                self._accumulate(grad_expanded * mask / counts)
+                contribution = grad_expanded * mask / counts
+            # The contribution is already a fresh full-shape temporary, so
+            # the broadcast accumulator adds it in place (existing buffer)
+            # or claims one owned copy (no buffer) — never copy-on-copy.
+            self._accumulate_broadcast(contribution)
 
         return Tensor._make(out_data, (self,), backward)
 

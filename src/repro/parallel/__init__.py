@@ -1,0 +1,19 @@
+"""Parallel execution layer: deterministic multi-core maps (PR 10).
+
+Public surface:
+
+* :class:`ParallelExecutor` — maps a module-level worker over independent
+  items with per-item ``SeedSequence`` RNG streams and ordered reduction,
+  so every parallel result is bit-identical to the serial path.
+* :class:`repro.core.config.ParallelConfig` — re-exported here; the
+  ``backend``/``n_jobs``/``chunk_size`` knobs, threaded through
+  ``TrainerConfig.parallel`` and ``repro run --n-jobs``.
+* :mod:`repro.parallel.workers` — the module-level (picklable) workers for
+  the clustering-assignment, layerwise-inference, experiment-grid, and
+  graph-shard hot paths.
+"""
+
+from ..core.config import ParallelConfig
+from .executor import ParallelExecutor, resolve_n_jobs
+
+__all__ = ["ParallelConfig", "ParallelExecutor", "resolve_n_jobs"]

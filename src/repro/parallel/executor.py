@@ -1,0 +1,303 @@
+"""Deterministic multi-core map over independent work items.
+
+:class:`ParallelExecutor` is the one dispatch mechanism behind every
+parallel hot path in the repo — the clustering engine's chunked assignment
+pass, layer-wise inference node chunks, the experiment runner's
+method x dataset x seed grid, and the shard-at-a-time inference in
+:mod:`repro.graphs.partition`.  Its contract, enforced by
+``tests/parallel``:
+
+**Bit-identical to serial.**  ``map(worker, items)`` returns exactly
+``[worker(item, payload, rng) for item, rng in zip(items, rngs)]`` in item
+order, for every backend, worker count, and chunk size.  Two mechanisms
+make that hold:
+
+* *Ordered reduction* — chunks are groups of **consecutive** items and the
+  parent concatenates chunk results in submission order, so worker
+  scheduling can never permute the output.
+* *Per-item RNG streams* — when a ``seed`` is given, one
+  ``np.random.SeedSequence`` child is spawned **per item** (not per
+  dispatched chunk) from a single root, so the stream an item sees is a
+  pure function of ``(seed, item index)`` — independent of backend,
+  ``n_jobs``, and ``chunk_size``.
+
+**Cheap payload shipping.**  The shared read-only payload (embedding
+matrix, centroids, prepared layer step) is published through a module-level
+global before a ``fork``-context process pool starts, so children inherit
+it copy-on-write and nothing is pickled; only the small per-chunk items and
+the results cross the pipe.  When ``fork`` is unavailable the payload falls
+back to ``initializer``/``initargs`` pickling.
+
+**Clean failure.**  ``KeyboardInterrupt`` cancels queued chunks, joins the
+workers (no orphans), discards partial results, and re-raises.  A crashed
+worker process (``BrokenProcessPool``) or a pool that cannot start
+(``OSError``) discards partials, logs to the event ring, bumps the
+serial-fallback counter, and re-runs the whole map serially — the caller
+still gets the exact serial answer.  A worker that raises an ordinary
+exception propagates it unchanged after the pool is drained.
+
+Workers must be **module-level functions** (lint rule R9): a closure or
+lambda pickles only at runtime — or rather fails to — so the ``processes``
+backend rejects them up front with a ``ValueError`` naming the fix.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, Future
+from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from ..obs import EVENTS, REGISTRY, span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import ParallelConfig
+
+_WORKERS = REGISTRY.gauge(
+    "repro_parallel_workers",
+    "Workers used by the most recent parallel map, by site.",
+    labelnames=("site",))
+_CHUNK_SECONDS = REGISTRY.histogram(
+    "repro_parallel_chunk_seconds",
+    "Wall time of one dispatched chunk, by site.",
+    labelnames=("site",))
+_FALLBACKS = REGISTRY.counter(
+    "repro_parallel_serial_fallbacks_total",
+    "Parallel maps that fell back to the serial path, by reason.",
+    labelnames=("reason",))
+
+#: Read-only payload published to ``fork``-ed children copy-on-write.  Set
+#: by the parent immediately before the pool starts and cleared after the
+#: map completes; worker processes read it through :func:`_resolve_payload`.
+_SHARED_PAYLOAD: Any = None
+_PAYLOAD_TOKEN: int = 0
+
+
+def _set_shared_payload(payload: Any, token: int) -> None:
+    """Publish the payload global (parent pre-fork, or pool initializer)."""
+    global _SHARED_PAYLOAD, _PAYLOAD_TOKEN
+    _SHARED_PAYLOAD = payload
+    _PAYLOAD_TOKEN = token
+
+
+def _clear_shared_payload() -> None:
+    global _SHARED_PAYLOAD, _PAYLOAD_TOKEN
+    _SHARED_PAYLOAD = None
+    _PAYLOAD_TOKEN = 0
+
+
+def _resolve_payload(token: int) -> Any:
+    """The payload for dispatch ``token``, from the inherited global.
+
+    The token guards against a stale global: a ``fork`` child created for
+    one map must never serve another map's payload.
+    """
+    if token != _PAYLOAD_TOKEN:
+        raise RuntimeError(
+            f"shared-payload token mismatch (worker has {_PAYLOAD_TOKEN}, "
+            f"chunk expects {token}); the process pool outlived its map")
+    return _SHARED_PAYLOAD
+
+
+def _run_chunk(worker: Callable, chunk: Sequence, seed_seqs: Sequence,
+               token: Optional[int], payload: Any) -> tuple:
+    """Execute one dispatched chunk; returns ``(results, elapsed_seconds)``.
+
+    ``token`` selects the fork-inherited payload global; ``None`` means the
+    payload travelled in the message (threads/serial, or spawn fallback).
+    """
+    if token is not None:
+        payload = _resolve_payload(token)
+    started = time.perf_counter()
+    results = []
+    for item, seq in zip(chunk, seed_seqs):
+        rng = None if seq is None else np.random.default_rng(seq)
+        results.append(worker(item, payload, rng))
+    return results, time.perf_counter() - started
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Concrete worker count: ``0`` means every core the process may use."""
+    n_jobs = int(n_jobs)
+    if n_jobs > 0:
+        return n_jobs
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _is_module_level(worker: Callable) -> bool:
+    qualname = getattr(worker, "__qualname__", "")
+    return "<locals>" not in qualname and "<lambda>" not in qualname
+
+
+class ParallelExecutor:
+    """Maps a module-level worker over independent items, deterministically.
+
+    Parameters
+    ----------
+    config:
+        A :class:`repro.core.config.ParallelConfig`; ``None`` uses the
+        defaults (serial).
+    """
+
+    def __init__(self, config: Optional["ParallelConfig"] = None):
+        if config is None:
+            # Imported lazily: repro.core.trainer reaches this module, so a
+            # module-level import of repro.core.config would be circular.
+            from ..core.config import ParallelConfig
+
+            config = ParallelConfig()
+        self.config = config
+        self.n_jobs = resolve_n_jobs(config.n_jobs)
+        #: Maps that degraded to the serial path (crash / broken pool).
+        self.fallback_count = 0
+        self._dispatch_token = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_serial(self) -> bool:
+        """Whether maps run inline in the calling thread."""
+        return self.config.backend == "serial" or self.n_jobs <= 1
+
+    def __repr__(self) -> str:
+        return (f"ParallelExecutor(backend={self.config.backend!r}, "
+                f"n_jobs={self.n_jobs}, chunk_size={self.config.chunk_size})")
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(self, worker: Callable, items: Sequence, *, payload: Any = None,
+            seed: Optional[int] = None, chunk_size: Optional[int] = None,
+            label: str = "map") -> List:
+        """Ordered ``[worker(item, payload, rng) for item in items]``.
+
+        ``worker`` must be a module-level function taking
+        ``(item, payload, rng)``; ``rng`` is a ``np.random.Generator`` from
+        the item's spawned stream (``None`` when no ``seed`` is given).
+        ``payload`` is shared read-only state every item needs; items
+        themselves should be small (index ranges, config dicts).
+        """
+        items = list(items)
+        if not items:
+            return []
+        seed_seqs: List[Optional[np.random.SeedSequence]]
+        if seed is None:
+            seed_seqs = [None] * len(items)
+        else:
+            seed_seqs = list(np.random.SeedSequence(int(seed)).spawn(len(items)))
+        if self.is_serial or len(items) == 1:
+            _WORKERS.set(1, site=label)
+            return self._map_serial(worker, items, seed_seqs, payload, label)
+        if self.config.backend == "processes" and not _is_module_level(worker):
+            raise ValueError(
+                f"worker {getattr(worker, '__qualname__', worker)!r} is a "
+                f"closure or lambda, which cannot be pickled to a process "
+                f"pool; define it at module level (lint rule R9)")
+        chunks = self._chunk(items, chunk_size)
+        seq_chunks = self._chunk(seed_seqs, chunk_size)
+        workers = min(self.n_jobs, len(chunks))
+        _WORKERS.set(workers, site=label)
+        with span("parallel.map", site=label, backend=self.config.backend,
+                  items=len(items), chunks=len(chunks), workers=workers):
+            try:
+                return self._map_pool(worker, chunks, seq_chunks, payload,
+                                      workers, label)
+            except (BrokenExecutor, OSError, pickle.PicklingError) as exc:
+                # Infrastructure failure: a worker died mid-chunk, the pool
+                # could not start, or a result refused to pickle.  Partial
+                # results are discarded and the whole map re-runs serially,
+                # so the caller still sees the exact serial answer.
+                self.fallback_count += 1
+                _FALLBACKS.inc(reason=type(exc).__name__)
+                EVENTS.warning(
+                    f"parallel map fell back to serial: {exc}",
+                    source="parallel", site=label,
+                    backend=self.config.backend, error=type(exc).__name__)
+                return self._map_serial(worker, items, seed_seqs, payload, label)
+
+    def _map_serial(self, worker: Callable, items: Sequence,
+                    seed_seqs: Sequence, payload: Any, label: str) -> List:
+        results, elapsed = _run_chunk(worker, items, seed_seqs, None, payload)
+        _CHUNK_SECONDS.observe(elapsed, site=label)
+        return results
+
+    def _chunk(self, values: List, chunk_size: Optional[int]) -> List[List]:
+        size = self.config.chunk_size if chunk_size is None else int(chunk_size)
+        if size <= 0:
+            size = -(-len(values) // self.n_jobs)
+        return [values[start: start + size]
+                for start in range(0, len(values), size)]
+
+    def _map_pool(self, worker: Callable, chunks: List[List],
+                  seq_chunks: List[List], payload: Any, workers: int,
+                  label: str) -> List:
+        pool, token = self._start_pool(payload, workers)
+        futures: List[Future] = []
+        results: List = []
+        try:
+            for chunk, seqs in zip(chunks, seq_chunks):
+                futures.append(pool.submit(
+                    _run_chunk, worker, chunk, seqs, token,
+                    None if token is not None else payload))
+            # Ordered reduction: chunk results are concatenated in
+            # submission order, so scheduling cannot permute the output.
+            for future in futures:
+                chunk_results, elapsed = future.result()
+                _CHUNK_SECONDS.observe(elapsed, site=label)
+                results.extend(chunk_results)
+        except KeyboardInterrupt:
+            # Queued chunks are cancelled, running ones finish, workers are
+            # joined — no orphaned processes — and partials are discarded.
+            self._shutdown(pool)
+            EVENTS.warning("parallel map interrupted; partial results "
+                           "discarded", source="parallel", site=label)
+            raise
+        except BaseException:
+            self._shutdown(pool)
+            raise
+        self._shutdown(pool)
+        return results
+
+    def _start_pool(self, payload: Any, workers: int):
+        """Create the pool; returns ``(pool, payload_token_or_None)``."""
+        if self.config.backend == "threads":
+            from concurrent.futures import ThreadPoolExecutor
+
+            return ThreadPoolExecutor(max_workers=workers), None
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._dispatch_token += 1
+        token = self._dispatch_token
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Publish, fork, clear: children inherit the payload
+            # copy-on-write, so large arrays never cross a pipe.
+            context = multiprocessing.get_context("fork")
+            _set_shared_payload(payload, token)
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers,
+                                           mp_context=context)
+                # Fork happens lazily per worker; submitting a no-op first
+                # would serialize startup, so instead keep the global set
+                # until shutdown — workers fork on first submit.
+                return pool, token
+            except BaseException:
+                _clear_shared_payload()
+                raise
+        context = multiprocessing.get_context("spawn")
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_set_shared_payload, initargs=(payload, token))
+        return pool, token
+
+    def _shutdown(self, pool) -> None:
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            _clear_shared_payload()

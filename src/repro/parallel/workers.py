@@ -1,0 +1,80 @@
+"""Module-level workers for the repo's parallel hot paths.
+
+Every function here follows the :meth:`repro.parallel.ParallelExecutor.map`
+worker contract ``worker(item, payload, rng)`` and is defined at module
+level so it pickles to a process pool (lint rule R9).  Items are small
+index ranges or config tuples; the heavy shared state (embedding matrix,
+centroids, prepared layer step) travels as the map's ``payload`` and is
+inherited copy-on-write by ``fork``-ed workers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def assign_labels_chunk(item: Tuple[int, int], payload, rng) -> tuple:
+    """Nearest-center assignment for embedding rows ``[start, stop)``.
+
+    ``payload`` is ``(data, centers, chunk_size)``.  Items are the *same*
+    ``chunk_size``-aligned row ranges the serial pass iterates, so each
+    dispatched range runs the exact distance-block computation the serial
+    :func:`repro.clustering.kmeans._assign_labels` would — the ordered
+    concatenation is bit-identical, not merely close.
+    """
+    from ..clustering.kmeans import _assign_labels
+
+    start, stop = item
+    data, centers, chunk_size = payload
+    return _assign_labels(data[start:stop], centers, chunk_size)
+
+
+def layerwise_chunk(item: Tuple[int, int], payload, rng) -> np.ndarray:
+    """One layer's output rows ``[start, stop)`` of layer-wise inference.
+
+    ``payload`` is ``(step, h)`` — a prepared layerwise-plan step (its
+    ``prepare`` already ran in the parent, pre-fork) and the previous
+    layer's full activations.  ``step.compute`` touches only its own rows
+    of the propagation structure, so chunks are independent.
+    """
+    step, h = payload
+    start, stop = item
+    return step.compute(h, start, stop)
+
+
+def run_experiment_cell(item, payload, rng) -> "object":
+    """Train and evaluate one (method, dataset, seed) grid cell.
+
+    ``item`` is ``(method, dataset_name, seed, experiment_dict,
+    num_novel_classes, openima_overrides)``; the experiment config travels
+    as a plain dict so the cell rebuilds it locally (cheap, and avoids
+    pickling assumptions about config subclasses).  Each cell is seeded
+    entirely by its own ``seed`` — training already draws every random
+    number from generators keyed on it — so cells are independent and the
+    grid result is bit-identical to the serial loop.
+    """
+    from ..experiments.runner import ExperimentConfig, run_grid_cell
+
+    method, dataset_name, seed, experiment_dict, num_novel, overrides = item
+    experiment = ExperimentConfig.from_dict(experiment_dict)
+    return run_grid_cell(method, dataset_name, seed, experiment,
+                         num_novel_classes=num_novel,
+                         openima_overrides=overrides)
+
+
+def shard_embeddings_worker(item: int, payload, rng) -> tuple:
+    """All-owned-node embeddings for one shard of a partitioned graph.
+
+    ``payload`` is ``(encoder, graph, partition, num_hops, chunk_size)``;
+    ``item`` is the shard index.  The shard's owned+halo subgraph is
+    extracted locally, so no worker ever materializes all ``N``
+    activations — peak memory is O(|owned + halo| x width) per worker.
+    Returns ``(owned_nodes, owned_embeddings)``.
+    """
+    from ..graphs.partition import compute_shard_embeddings
+
+    encoder, graph, partition, num_hops, chunk_size = payload
+    return compute_shard_embeddings(encoder, graph, partition, int(item),
+                                    num_hops=num_hops, chunk_size=chunk_size)

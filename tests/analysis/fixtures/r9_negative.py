@@ -1,0 +1,19 @@
+"""R9 negative: module-level workers and non-pool receivers are clean."""
+
+
+def module_worker(item):
+    return item * 2
+
+
+def dispatch(executor, worker_pool, items):
+    results = list(executor.map(module_worker, items))
+    futures = [worker_pool.submit(module_worker, item) for item in items]
+    return results, futures
+
+
+def non_pool_receivers(mapper, items):
+    # A nested def is fine when the receiver is not an executor/pool.
+    def local(item):
+        return item - 1
+
+    return mapper.map(local, items) + mapper.map(lambda item: item, items)

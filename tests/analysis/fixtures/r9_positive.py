@@ -1,0 +1,13 @@
+"""R9 positive: closure workers handed to pool executors."""
+
+
+def dispatch(executor, thread_pool, items):
+    offset = 2
+
+    def worker(item):
+        return item + offset
+
+    results = list(executor.map(worker, items))
+    futures = [thread_pool.submit(lambda item: item + offset, item)
+               for item in items]
+    return results, futures

@@ -1,0 +1,135 @@
+"""Graph partitioning: balance, determinism, shard exactness, batches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.gcn import GCNEncoder
+from repro.graphs import (
+    GraphPartition,
+    compute_shard_embeddings,
+    extract_shard,
+    partition_batches,
+    partition_graph,
+    sharded_embeddings,
+)
+
+
+class TestPartitionGraph:
+    def test_every_node_owned_exactly_once(self, small_graph):
+        partition = partition_graph(small_graph, 4)
+        assert partition.sizes().sum() == small_graph.num_nodes
+        covered = np.concatenate([partition.owned(p) for p in range(4)])
+        assert np.array_equal(np.sort(covered),
+                              np.arange(small_graph.num_nodes))
+
+    def test_balance_respects_slack(self, small_graph):
+        partition = partition_graph(small_graph, 4, slack=1.05)
+        capacity = 1.05 * -(-small_graph.num_nodes // 4)
+        assert (partition.sizes() <= capacity).all()
+        assert (partition.sizes() > 0).all()
+
+    def test_deterministic(self, small_graph):
+        first = partition_graph(small_graph, 3)
+        second = partition_graph(small_graph, 3)
+        assert np.array_equal(first.assignment, second.assignment)
+
+    def test_greedy_cut_beats_random_assignment(self, small_graph):
+        greedy = partition_graph(small_graph, 4)
+        rng = np.random.default_rng(0)
+        random_cut = GraphPartition(
+            num_parts=4,
+            assignment=rng.integers(0, 4, small_graph.num_nodes),
+        ).edge_cut(small_graph)
+        assert greedy.edge_cut(small_graph) < random_cut
+
+    def test_single_part_owns_everything(self, small_graph):
+        partition = partition_graph(small_graph, 1)
+        assert partition.edge_cut(small_graph) == 0.0
+        assert partition.sizes().tolist() == [small_graph.num_nodes]
+
+    def test_invalid_arguments_rejected(self, small_graph):
+        with pytest.raises(ValueError, match="num_parts"):
+            partition_graph(small_graph, 0)
+        with pytest.raises(ValueError, match="slack"):
+            partition_graph(small_graph, 2, slack=0.5)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError, match="part ids"):
+            GraphPartition(num_parts=2, assignment=np.array([0, 1, 2]))
+        with pytest.raises(IndexError):
+            GraphPartition(num_parts=2,
+                           assignment=np.array([0, 1])).owned(2)
+
+
+class TestShardExactness:
+    @pytest.fixture(scope="class")
+    def encoder(self, small_graph):
+        return GCNEncoder(small_graph.num_features, hidden_dim=16, out_dim=8,
+                          rng=np.random.default_rng(9))
+
+    def test_shard_seeds_are_owned_nodes(self, small_graph):
+        partition = partition_graph(small_graph, 3)
+        shard = extract_shard(small_graph, partition, 1)
+        owned = partition.owned(1)
+        assert np.array_equal(shard.node_ids[shard.seed_local], owned)
+        halo = shard.node_ids[owned.shape[0]:]
+        assert not np.intersect1d(halo, owned).size
+
+    def test_owned_rows_match_full_embedding(self, small_graph, encoder):
+        full = encoder.embed(small_graph)
+        partition = partition_graph(small_graph, 3)
+        for part in range(3):
+            owned, rows = compute_shard_embeddings(
+                encoder, small_graph, partition, part, chunk_size=32)
+            np.testing.assert_allclose(rows, full[owned], atol=1e-8)
+
+    def test_sharded_embeddings_cover_all_nodes(self, small_graph, encoder):
+        partition = partition_graph(small_graph, 4)
+        assembled = sharded_embeddings(encoder, small_graph, partition,
+                                       chunk_size=32)
+        np.testing.assert_allclose(assembled, encoder.embed(small_graph),
+                                   atol=1e-8)
+
+    def test_partition_count_does_not_change_result(self, small_graph,
+                                                    encoder):
+        one = sharded_embeddings(encoder, small_graph,
+                                 partition_graph(small_graph, 1))
+        four = sharded_embeddings(encoder, small_graph,
+                                  partition_graph(small_graph, 4))
+        np.testing.assert_allclose(one, four, atol=1e-8)
+
+    def test_empty_shard_rejected(self, small_graph):
+        assignment = np.zeros(small_graph.num_nodes, dtype=np.int64)
+        partition = GraphPartition(num_parts=2, assignment=assignment)
+        with pytest.raises(ValueError, match="owns no nodes"):
+            extract_shard(small_graph, partition, 1)
+
+
+class TestPartitionBatches:
+    def test_batches_stay_within_their_shard(self, small_graph):
+        partition = partition_graph(small_graph, 3)
+        nodes = np.arange(0, small_graph.num_nodes, 2)
+        seen = []
+        for part, batch in partition_batches(partition, nodes, 16,
+                                             np.random.default_rng(0)):
+            assert batch.shape[0] <= 16
+            assert (partition.assignment[batch] == part).all()
+            seen.append(batch)
+        assert np.array_equal(np.sort(np.concatenate(seen)), nodes)
+
+    def test_same_rng_seed_is_deterministic(self, small_graph):
+        partition = partition_graph(small_graph, 3)
+        nodes = np.arange(small_graph.num_nodes)
+        first = [batch for _, batch in partition_batches(
+            partition, nodes, 8, np.random.default_rng(5))]
+        second = [batch for _, batch in partition_batches(
+            partition, nodes, 8, np.random.default_rng(5))]
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_invalid_batch_size_rejected(self, small_graph):
+        partition = partition_graph(small_graph, 2)
+        with pytest.raises(ValueError, match="batch_size"):
+            list(partition_batches(partition, np.arange(4), 0,
+                                   np.random.default_rng(0)))

@@ -143,6 +143,43 @@ class TestReductions:
         assert t.grad[0, 1] == pytest.approx(1.0)
         assert t.grad.sum() == pytest.approx(1.0)
 
+    def test_sum_backward_accumulates_into_existing_buffer(self):
+        # The broadcast accumulator must add into the buffer in place (no
+        # broadcast_to(...).copy() temporary, no rebinding).
+        t = Tensor(np.ones((3, 4)), requires_grad=True)
+        (t.sum() + (t * 2.0).sum()).backward()
+        np.testing.assert_allclose(t.grad, np.full((3, 4), 3.0))
+        buffer = t.grad
+        first = t.sum()
+        first.backward()
+        assert t.grad is buffer
+        np.testing.assert_allclose(t.grad, np.full((3, 4), 4.0))
+
+    def test_sum_backward_allocates_owned_buffer(self):
+        # With no prior grad, the accumulated buffer must be owned and
+        # writable — not a frozen broadcast view of the output grad.
+        t = Tensor(np.ones((2, 5)), requires_grad=True)
+        t.sum().backward()
+        assert t.grad.shape == (2, 5)
+        assert t.grad.flags.writeable and t.grad.flags.owndata
+        np.testing.assert_allclose(t.grad, np.ones((2, 5)))
+
+    def test_sum_keepdims_backward(self):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) ** 2).sum(),
+                       (3, 4))
+
+    def test_max_backward_accumulates_into_existing_buffer(self):
+        array = np.array([[1.0, 5.0], [2.0, 3.0]])
+        t = Tensor(array, requires_grad=True)
+        (t.max() + t.sum()).backward()
+        buffer = t.grad
+        np.testing.assert_allclose(
+            t.grad, np.array([[1.0, 2.0], [1.0, 1.0]]))
+        t.max(axis=1).sum().backward()
+        assert t.grad is buffer
+        np.testing.assert_allclose(
+            t.grad, np.array([[1.0, 3.0], [1.0, 2.0]]))
+
 
 class TestIndexingAndShapes:
     def test_gather_rows_backward(self):
@@ -221,6 +258,40 @@ class TestGraphMechanics:
             assert not is_grad_enabled()
             out = (t * 2.0).sum()
             assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_is_thread_local(self):
+        # A threads-backend inference worker entering no_grad() must not
+        # switch off recording for a concurrently training thread.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen_in_thread = []
+
+        def hold_no_grad():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def record_elsewhere():
+            seen_in_thread.append(is_grad_enabled())
+
+        holder = threading.Thread(target=hold_no_grad)
+        holder.start()
+        try:
+            assert entered.wait(timeout=5.0)
+            # This thread and a third, fresh thread both still record.
+            assert is_grad_enabled()
+            t = Tensor(np.ones(2), requires_grad=True)
+            assert (t * 2.0).sum().requires_grad
+            other = threading.Thread(target=record_elsewhere)
+            other.start()
+            other.join(timeout=5.0)
+            assert seen_in_thread == [True]
+        finally:
+            release.set()
+            holder.join(timeout=5.0)
         assert is_grad_enabled()
 
     def test_gradient_accumulation_over_reuse(self):

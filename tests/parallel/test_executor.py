@@ -1,0 +1,243 @@
+"""ParallelExecutor mechanics: chunking, ordered reduction, RNG streams,
+closure rejection, crash fallback, interrupt cleanup, and obs wiring."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import ParallelConfig
+from repro.obs import EVENTS, REGISTRY
+from repro.parallel import ParallelExecutor, resolve_n_jobs
+from repro.parallel.executor import (
+    _clear_shared_payload,
+    _resolve_payload,
+    _set_shared_payload,
+)
+
+BACKENDS = ("serial", "threads", "processes")
+
+
+def executor_for(backend: str, n_jobs: int = 2,
+                 chunk_size: int = 0) -> ParallelExecutor:
+    return ParallelExecutor(ParallelConfig(
+        backend=backend, n_jobs=n_jobs, chunk_size=chunk_size))
+
+
+# ----------------------------------------------------------------------
+# Module-level workers (lint rule R9: these must pickle to process pools)
+# ----------------------------------------------------------------------
+def double_worker(item, payload, rng):
+    return item * 2
+
+
+def payload_sum_worker(item, payload, rng):
+    return item + int(payload["offset"])
+
+
+def rng_draw_worker(item, payload, rng):
+    return float(rng.random())
+
+
+def rng_is_none_worker(item, payload, rng):
+    return rng is None
+
+
+def slow_then_fast_worker(item, payload, rng):
+    # Earlier items sleep longer, so an unordered reduction would return
+    # the later items first.
+    time.sleep(0.05 if item < 2 else 0.0)
+    return item
+
+
+def crash_in_child_worker(item, payload, rng):
+    # Hard-kill only when running in a pool worker process; the serial
+    # fallback re-runs this in the parent and succeeds.
+    if os.getpid() != payload:
+        os._exit(1)
+    return item
+
+
+def interrupt_worker(item, payload, rng):
+    if item == 1:
+        raise KeyboardInterrupt
+    return item
+
+
+class TestMapBasics:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("chunk_size", [0, 1, 3])
+    def test_map_preserves_item_order(self, backend, chunk_size):
+        executor = executor_for(backend, n_jobs=2, chunk_size=chunk_size)
+        items = list(range(7))
+        assert executor.map(double_worker, items) == [i * 2 for i in items]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_payload_reaches_every_item(self, backend):
+        executor = executor_for(backend)
+        results = executor.map(payload_sum_worker, [1, 2, 3],
+                               payload={"offset": 10})
+        assert results == [11, 12, 13]
+
+    def test_empty_items_returns_empty_list(self):
+        assert executor_for("processes").map(double_worker, []) == []
+
+    def test_single_item_runs_inline(self):
+        executor = executor_for("processes")
+        assert executor.map(double_worker, [21]) == [42]
+
+    def test_ordered_reduction_beats_scheduling(self):
+        executor = executor_for("threads", n_jobs=4, chunk_size=1)
+        items = list(range(6))
+        assert executor.map(slow_then_fast_worker, items) == items
+
+    def test_resolve_n_jobs_zero_means_all_cores(self):
+        assert resolve_n_jobs(0) >= 1
+        assert resolve_n_jobs(3) == 3
+
+    def test_is_serial_for_serial_backend_and_single_job(self):
+        assert executor_for("serial", n_jobs=4).is_serial
+        assert executor_for("threads", n_jobs=1).is_serial
+        assert not executor_for("threads", n_jobs=2).is_serial
+
+
+class TestRngStreams:
+    def test_no_seed_passes_none_rng(self):
+        executor = executor_for("threads")
+        assert executor.map(rng_is_none_worker, [0, 1, 2]) == [True] * 3
+
+    def test_streams_are_a_function_of_seed_and_index_only(self):
+        # The draws must be identical across backend, n_jobs, AND
+        # chunk_size: streams are spawned per item, never per chunk.
+        reference = executor_for("serial").map(
+            rng_draw_worker, range(8), seed=123)
+        assert len(set(reference)) == 8
+        for backend in BACKENDS:
+            for n_jobs in (1, 2, 3):
+                for chunk_size in (0, 1, 3):
+                    executor = executor_for(backend, n_jobs, chunk_size)
+                    assert executor.map(rng_draw_worker, range(8),
+                                        seed=123) == reference
+
+    def test_different_seeds_differ(self):
+        executor = executor_for("serial")
+        a = executor.map(rng_draw_worker, range(4), seed=1)
+        b = executor.map(rng_draw_worker, range(4), seed=2)
+        assert a != b
+
+
+class TestClosureRejection:
+    def test_processes_backend_rejects_nested_worker(self):
+        executor = executor_for("processes")
+
+        def closure(item, payload, rng):  # noqa: R9 demo
+            return item
+
+        with pytest.raises(ValueError, match="module level"):
+            executor.map(closure, [1, 2])
+
+    def test_processes_backend_rejects_lambda(self):
+        executor = executor_for("processes")
+        with pytest.raises(ValueError, match="R9"):
+            executor.map(lambda item, payload, rng: item, [1, 2])
+
+    def test_threads_backend_accepts_closures(self):
+        executor = executor_for("threads")
+        bound = 10
+
+        def closure(item, payload, rng):
+            return item + bound
+
+        assert executor.map(closure, [1, 2]) == [11, 12]
+
+
+class TestCrashFallback:
+    def test_worker_crash_falls_back_to_serial(self):
+        executor = executor_for("processes", n_jobs=2, chunk_size=1)
+        fallbacks = REGISTRY.get("repro_parallel_serial_fallbacks_total")
+        before = fallbacks.value(reason="BrokenProcessPool")
+        items = list(range(4))
+        results = executor.map(crash_in_child_worker, items,
+                               payload=os.getpid(), label="test.crash")
+        # Partials are discarded; the serial rerun returns the exact answer.
+        assert results == items
+        assert executor.fallback_count == 1
+        assert fallbacks.value(reason="BrokenProcessPool") == before + 1
+        warnings = [event for event in EVENTS.snapshot(level="warning")
+                    if event["source"] == "parallel"
+                    and event.get("site") == "test.crash"]
+        assert warnings, "serial fallback must be logged to the event ring"
+        assert "fell back to serial" in warnings[-1]["message"]
+
+    def test_no_orphan_processes_after_crash_fallback(self):
+        executor = executor_for("processes", n_jobs=2, chunk_size=1)
+        executor.map(crash_in_child_worker, list(range(4)),
+                     payload=os.getpid())
+        deadline = time.time() + 5.0
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+
+class TestInterrupt:
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_keyboard_interrupt_cleans_up_and_reraises(self, backend):
+        executor = executor_for(backend, n_jobs=2, chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            executor.map(interrupt_worker, list(range(6)),
+                         label="test.interrupt")
+        deadline = time.time() + 5.0
+        while multiprocessing.active_children() and time.time() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+        warnings = [event for event in EVENTS.snapshot(level="warning")
+                    if event["source"] == "parallel"
+                    and event.get("site") == "test.interrupt"]
+        assert warnings and "interrupted" in warnings[-1]["message"]
+
+    def test_interrupt_does_not_count_as_fallback(self):
+        executor = executor_for("threads", n_jobs=2, chunk_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            executor.map(interrupt_worker, list(range(6)))
+        assert executor.fallback_count == 0
+
+
+class TestPayloadGlobal:
+    def test_token_mismatch_raises(self):
+        _set_shared_payload({"x": 1}, 7)
+        try:
+            assert _resolve_payload(7) == {"x": 1}
+            with pytest.raises(RuntimeError, match="token mismatch"):
+                _resolve_payload(8)
+        finally:
+            _clear_shared_payload()
+
+    def test_payload_global_cleared_after_map(self):
+        from repro.parallel import executor as executor_module
+
+        executor = executor_for("processes", n_jobs=2, chunk_size=1)
+        assert executor.map(double_worker, [1, 2, 3]) == [2, 4, 6]
+        assert executor_module._SHARED_PAYLOAD is None
+        assert executor_module._PAYLOAD_TOKEN == 0
+
+
+class TestObservability:
+    def test_worker_gauge_and_chunk_histogram(self):
+        executor = executor_for("threads", n_jobs=3, chunk_size=1)
+        histogram = REGISTRY.get("repro_parallel_chunk_seconds")
+        before = histogram.count(site="test.obs")
+        executor.map(double_worker, list(range(6)), label="test.obs")
+        gauge = REGISTRY.get("repro_parallel_workers")
+        assert gauge.value(site="test.obs") == 3
+        # One duration observation per dispatched chunk (chunk_size=1).
+        assert histogram.count(site="test.obs") == before + 6
+
+    def test_serial_map_reports_one_worker(self):
+        executor = executor_for("serial")
+        executor.map(double_worker, [1, 2], label="test.obs.serial")
+        gauge = REGISTRY.get("repro_parallel_workers")
+        assert gauge.value(site="test.obs.serial") == 1

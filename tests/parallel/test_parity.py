@@ -1,0 +1,149 @@
+"""Bitwise serial/threads/processes parity for every parallel hot path.
+
+The executor's contract is that parallelism changes wall-clock, never
+results: chunked clustering assignment, layer-wise inference, sharded
+embeddings, and the experiment grid must return bit-identical outputs for
+every backend, worker count, and chunk size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.engine import ClusteringEngine
+from repro.core.config import ClusteringConfig, ParallelConfig
+from repro.experiments.runner import ExperimentConfig, _run_cells
+from repro.gnn.gcn import GCNEncoder
+from repro.graphs import partition_graph, sharded_embeddings
+from repro.inference.layerwise import LayerwiseInference
+from repro.parallel import ParallelExecutor
+
+POOL_BACKENDS = ("threads", "processes")
+
+
+def executor_for(backend: str, n_jobs: int = 2) -> ParallelExecutor:
+    return ParallelExecutor(ParallelConfig(backend=backend, n_jobs=n_jobs))
+
+
+@pytest.fixture(scope="module")
+def embeddings():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(3000, 24))
+
+
+@pytest.fixture(scope="module")
+def centers():
+    rng = np.random.default_rng(12)
+    return rng.normal(size=(6, 24))
+
+
+class TestClusteringAssignmentParity:
+    @pytest.mark.parametrize("backend", POOL_BACKENDS)
+    @pytest.mark.parametrize("n_jobs", [2, 3])
+    def test_reassign_bitwise_matches_serial(self, embeddings, centers,
+                                             backend, n_jobs):
+        config = ClusteringConfig(reassign_chunk_size=512)
+        serial = ClusteringEngine(config)._reassign(embeddings, centers)
+        engine = ClusteringEngine(
+            config, parallel=executor_for(backend, n_jobs))
+        result = engine._reassign(embeddings, centers)
+        assert np.array_equal(serial.labels, result.labels)
+        assert serial.inertia == result.inertia
+        assert np.array_equal(serial.centers, result.centers)
+
+    @pytest.mark.parametrize("backend", POOL_BACKENDS)
+    def test_minibatch_cluster_bitwise_matches_serial(self, embeddings,
+                                                      backend):
+        config = ClusteringConfig(strategy="minibatch", sample_size=512,
+                                  reassign_chunk_size=512)
+        serial = ClusteringEngine(config, seed=5).cluster(embeddings, 6)
+        parallel = ClusteringEngine(
+            config, seed=5, parallel=executor_for(backend)).cluster(
+                embeddings, 6)
+        assert np.array_equal(serial.labels, parallel.labels)
+        assert np.array_equal(serial.centers, parallel.centers)
+        assert serial.inertia == parallel.inertia
+
+    def test_parity_independent_of_chunk_count(self, embeddings, centers):
+        # Different executor chunk_size must not change the result: the
+        # dispatched ranges are always the serial pass's own blocks.
+        config = ClusteringConfig(reassign_chunk_size=512)
+        serial = ClusteringEngine(config)._reassign(embeddings, centers)
+        for chunk_size in (1, 2, 5):
+            engine = ClusteringEngine(config, parallel=ParallelExecutor(
+                ParallelConfig(backend="threads", n_jobs=2,
+                               chunk_size=chunk_size)))
+            result = engine._reassign(embeddings, centers)
+            assert np.array_equal(serial.labels, result.labels)
+            assert serial.inertia == result.inertia
+
+
+class TestLayerwiseInferenceParity:
+    @pytest.fixture(scope="class")
+    def graph(self, small_graph):
+        return small_graph
+
+    @pytest.fixture(scope="class")
+    def encoder(self, graph):
+        return GCNEncoder(graph.num_features, hidden_dim=32, out_dim=16,
+                          rng=np.random.default_rng(3))
+
+    @pytest.mark.parametrize("backend", POOL_BACKENDS)
+    @pytest.mark.parametrize("chunk_size", [17, 64])
+    def test_chunked_layers_bitwise_match_serial(self, graph, encoder,
+                                                 backend, chunk_size):
+        serial = LayerwiseInference(chunk_size=chunk_size).run(encoder, graph)
+        parallel = LayerwiseInference(
+            chunk_size=chunk_size,
+            parallel=executor_for(backend)).run(encoder, graph)
+        assert np.array_equal(serial, parallel)
+
+    def test_matches_full_embed_to_tolerance(self, graph, encoder):
+        full = encoder.embed(graph)
+        chunked = LayerwiseInference(
+            chunk_size=33, parallel=executor_for("threads")).run(
+                encoder, graph)
+        np.testing.assert_allclose(chunked, full, atol=1e-8)
+
+
+class TestShardedEmbeddingParity:
+    @pytest.mark.parametrize("backend", POOL_BACKENDS)
+    def test_sharded_embeddings_bitwise_across_backends(self, small_graph,
+                                                        backend):
+        encoder = GCNEncoder(small_graph.num_features, hidden_dim=16,
+                             out_dim=8, rng=np.random.default_rng(4))
+        partition = partition_graph(small_graph, 3)
+        serial = sharded_embeddings(encoder, small_graph, partition,
+                                    chunk_size=64)
+        parallel = sharded_embeddings(encoder, small_graph, partition,
+                                      chunk_size=64,
+                                      parallel=executor_for(backend))
+        assert np.array_equal(serial, parallel)
+        np.testing.assert_allclose(serial, encoder.embed(small_graph),
+                                   atol=1e-8)
+
+
+GRID_EXPERIMENT = dict(scale=0.1, max_epochs=1, batch_size=128,
+                       encoder_kind="gcn", seeds=(0, 1))
+GRID_CELLS = [(method, dataset, seed)
+              for method in ("infonce", "openima")
+              for dataset in ("citeseer", "amazon-photos")
+              for seed in (0, 1)]
+
+
+class TestExperimentGridParity:
+    """The 2 x 2 x 2 method x dataset x seed grid is backend-invariant."""
+
+    @pytest.fixture(scope="class")
+    def serial_runs(self):
+        experiment = ExperimentConfig(**GRID_EXPERIMENT)
+        return _run_cells(GRID_CELLS, experiment)
+
+    @pytest.mark.parametrize("backend", POOL_BACKENDS)
+    def test_grid_cells_bitwise_match_serial(self, serial_runs, backend):
+        experiment = ExperimentConfig(**GRID_EXPERIMENT, n_jobs=2,
+                                      parallel_backend=backend)
+        runs = _run_cells(GRID_CELLS, experiment)
+        assert [run.as_dict() for run in runs] == [
+            run.as_dict() for run in serial_runs]
